@@ -1,0 +1,268 @@
+// Benchmarks regenerating each table and figure of the paper on reduced-
+// scale synthetic analogues (one benchmark per experiment; see DESIGN.md
+// §4 for the experiment index). Dataset construction happens outside the
+// timed loop; each iteration performs the full mining/evaluation work of
+// the experiment.
+package twoview_test
+
+import (
+	"io"
+	"testing"
+
+	"twoview"
+	"twoview/internal/baseline/assoc"
+	"twoview/internal/baseline/krimp"
+	"twoview/internal/baseline/reremi"
+	"twoview/internal/baseline/sigrules"
+	"twoview/internal/core"
+	"twoview/internal/eval"
+	"twoview/internal/mdl"
+	"twoview/internal/synth"
+)
+
+// benchData materializes a profile at bench scale, with candidates.
+func benchData(b *testing.B, name string, scale float64) (*twoview.Dataset, []twoview.Candidate, synth.Profile) {
+	b.Helper()
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := p.Scaled(scale)
+	d, _, err := synth.Generate(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands, err := core.MineCandidates(d, sp.MinSupport, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, cands, sp
+}
+
+// --- Table 1: dataset properties ---
+
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := eval.RunTable1(io.Discard, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2 (top): search strategy comparison on small datasets ---
+
+func BenchmarkTable2SmallExact(b *testing.B) {
+	// Unbounded EXACT on wide/dense datasets takes hours (Table 2's
+	// point; the paper could not run it on the large group at all); the
+	// bench measures the first 5 exact iterations on the narrow
+	// small-group datasets.
+	for _, name := range []string{"car", "tictactoe", "yeast"} {
+		b.Run(name, func(b *testing.B) {
+			p, _ := synth.ProfileByName(name)
+			d, _, err := synth.Generate(p.Scaled(0.1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := twoview.MineExact(d, twoview.ExactOptions{MaxRules: 5})
+				if res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2SmallSelect1(b *testing.B) {
+	benchSelect(b, 1)
+}
+
+func BenchmarkTable2SmallSelect25(b *testing.B) {
+	benchSelect(b, 25)
+}
+
+func benchSelect(b *testing.B, k int) {
+	for _, name := range []string{"car", "tictactoe", "yeast"} {
+		b.Run(name, func(b *testing.B) {
+			d, cands, _ := benchData(b, name, 0.25)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: k})
+				if res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2SmallGreedy(b *testing.B) {
+	for _, name := range []string{"car", "tictactoe", "yeast"} {
+		b.Run(name, func(b *testing.B) {
+			d, cands, _ := benchData(b, name, 0.25)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+				if res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+// --- Table 2 (bottom): candidate-based search on large datasets ---
+
+func BenchmarkTable2LargeSelect1(b *testing.B) {
+	for _, name := range []string{"house", "cal500", "mammals"} {
+		b.Run(name, func(b *testing.B) {
+			d, cands, _ := benchData(b, name, 0.25)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+			}
+		})
+	}
+}
+
+func BenchmarkTable2CandidateMining(b *testing.B) {
+	d, _, sp := benchData(b, "house", 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MineCandidates(d, sp.MinSupport, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: baselines under the translation encoding ---
+
+func BenchmarkTable3Translator(b *testing.B) {
+	d, cands, _ := benchData(b, "house", 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+		twoview.Summarize(d, res)
+	}
+}
+
+func BenchmarkTable3Sigrules(b *testing.B) {
+	d, _, sp := benchData(b, "house", 0.5)
+	coder := mdl.NewCoder(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules, err := sigrules.Mine(d, sigrules.Options{MinSupport: sp.MinSupport, Seed: sp.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.Evaluate(d, coder, sigrules.ToTable(rules))
+	}
+}
+
+func BenchmarkTable3Reremi(b *testing.B) {
+	d, _, sp := benchData(b, "house", 0.5)
+	coder := mdl.NewCoder(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rds := reremi.Mine(d, reremi.Options{MinSupport: sp.MinSupport})
+		eval.Evaluate(d, coder, reremi.ToTable(rds))
+	}
+}
+
+func BenchmarkTable3Krimp(b *testing.B) {
+	d, _, _ := benchData(b, "house", 0.25)
+	coder := mdl.NewCoder(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := krimp.Mine(d, krimp.Options{MinSupport: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab, _ := krimp.ToTranslationTable(res, d)
+		eval.Evaluate(d, coder, tab)
+	}
+}
+
+// BenchmarkTable3AssocExplosion measures the raw cross-view association
+// rule count (§6.3's pattern-explosion observation).
+func BenchmarkTable3AssocExplosion(b *testing.B) {
+	d, _, _ := benchData(b, "house", 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assoc.Count(d, assoc.Options{MinSupport: 2, MinConfidence: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 2: table construction trace ---
+
+func BenchmarkFig2House(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFig2(io.Discard, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 3: DOT visualization ---
+
+func BenchmarkFig3Dot(b *testing.B) {
+	d, cands, _ := benchData(b, "house", 0.5)
+	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := twoview.WriteDot(io.Discard, d, res.Table, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figs. 4-7: example-rule extraction ---
+
+func BenchmarkFig4to7ExampleRules(b *testing.B) {
+	d, cands, _ := benchData(b, "house", 0.5)
+	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		twoview.TopRules(d, res.Table, 3)
+	}
+}
+
+// --- Extension X1: recovery ---
+
+func BenchmarkRecovery(b *testing.B) {
+	p, _ := synth.ProfileByName("car")
+	for i := 0; i < b.N; i++ {
+		if err := eval.RunRecovery(io.Discard, 0.2, []synth.Profile{p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension X2: pruning ablation ---
+
+func BenchmarkExactPruningOn(b *testing.B) {
+	p, _ := synth.ProfileByName("car")
+	d, _, err := synth.Generate(p.Scaled(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		twoview.MineExact(d, twoview.ExactOptions{MaxRules: 2})
+	}
+}
+
+func BenchmarkExactPruningOff(b *testing.B) {
+	p, _ := synth.ProfileByName("car")
+	d, _, err := synth.Generate(p.Scaled(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		twoview.MineExact(d, twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true})
+	}
+}

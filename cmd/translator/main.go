@@ -1,0 +1,131 @@
+// Command translator mines a translation table from a two-view dataset
+// file using one of the three TRANSLATOR algorithms and prints the rules
+// and compression statistics.
+//
+// Usage:
+//
+//	translator -in data.tv [-algo select|exact|greedy] [-k 1] [-minsup 1]
+//	           [-max-rules 0] [-trace] [-dot out.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/eval"
+	"twoview/internal/mdl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("translator: ")
+
+	var (
+		in       = flag.String("in", "", "input dataset file (required)")
+		algo     = flag.String("algo", "select", "algorithm: exact, select or greedy")
+		k        = flag.Int("k", 1, "rules per iteration for select")
+		minsup   = flag.Int("minsup", 1, "minimum candidate support for select/greedy")
+		maxRules = flag.Int("max-rules", 0, "stop after this many rules (0 = MDL stopping only)")
+		trace    = flag.Bool("trace", false, "print each iteration as it happens")
+		dotOut   = flag.String("dot", "", "also write a Graphviz visualization to this file")
+		saveOut  = flag.String("save", "", "write the mined translation table to this file")
+		loadIn   = flag.String("load", "", "apply a stored translation table instead of mining")
+		quality  = flag.Bool("quality", false, "print lift/leverage/Jaccard per rule")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := dataset.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("dataset: %d transactions, %d+%d items, densities %.3f/%.3f\n",
+		st.Size, st.ItemsL, st.ItemsR, st.DensityL, st.DensityR)
+
+	if *loadIn != "" {
+		tab, err := core.ReadTableFile(*loadIn, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := eval.Evaluate(d, mdl.NewCoder(d), tab)
+		fmt.Printf("loaded %d rules from %s\n", tab.Size(), *loadIn)
+		fmt.Printf("L%% = %.2f, |C|%% = %.2f, avg c+ = %.2f\n", m.LPct, m.CorrPct, m.AvgConf)
+		for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+			rep := core.Apply(d, tab, from)
+			fmt.Printf("translate %v→%v: %d items produced, %d uncovered, %d errors (of %d cells)\n",
+				from, from.Opposite(), rep.TranslatedOnes, rep.Uncovered, rep.Errors, rep.Cells)
+		}
+		return
+	}
+
+	var tracer core.TraceFunc
+	if *trace {
+		tracer = func(it core.IterationStats) {
+			fmt.Printf("  it %3d: gain %8.2f  score %10.2f  %s\n",
+				it.Iteration, it.Gain, it.Score, it.Rule.Format(d))
+		}
+	}
+
+	var res *core.Result
+	switch *algo {
+	case "exact":
+		res = core.MineExact(d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer})
+	case "select", "greedy":
+		cands, err := core.MineCandidates(d, *minsup, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("candidates: %d closed two-view itemsets (minsup %d)\n", len(cands), *minsup)
+		if *algo == "select" {
+			res = core.MineSelect(d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer})
+		} else {
+			res = core.MineGreedy(d, cands, core.GreedyOptions{MaxRules: *maxRules, Trace: tracer})
+		}
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	m := eval.FromResult(d, res)
+	fmt.Printf("\ntranslation table (%d rules, found in %v):\n", m.NumRules, res.Runtime)
+	if *quality {
+		for _, q := range eval.QualityTable(d, res.Table) {
+			fmt.Printf("  %-70s supp=%-6d c+=%.2f lift=%.2f lev=%+.3f jac=%.2f\n",
+				q.Rule.Format(d), q.Supp, q.Conf, q.Lift, q.Leverage, q.Jaccard)
+		}
+	} else {
+		for _, rs := range eval.TopRules(d, res.Table, res.Table.Size()) {
+			fmt.Printf("  %-70s supp=%-6d c+=%.2f\n", rs.Rule.Format(d), rs.Supp, rs.Conf)
+		}
+	}
+	fmt.Printf("\nL%%   = %.2f (compressed/uncompressed)\n", m.LPct)
+	fmt.Printf("|C|%% = %.2f (correction ones / cells)\n", m.CorrPct)
+	fmt.Printf("avg rule length = %.2f items, avg c+ = %.2f\n", m.AvgLen, m.AvgConf)
+
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eval.WriteDot(f, d, res.Table, *in); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *saveOut != "" {
+		if err := core.WriteTableFile(*saveOut, d, res.Table); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (reload with -load)\n", *saveOut)
+	}
+}

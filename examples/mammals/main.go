@@ -1,0 +1,78 @@
+// Mammals: the paper's §6.4 ecology scenario — presence records of
+// European mammal species split into two views, where rules describe
+// which combinations of species inhabit the same areas (e.g. "areas with
+// the European Mole and the Red Fox typically also host the Harvest
+// Mouse and the European Hare").
+//
+// The program synthesizes a dataset shaped like the mammal atlas data
+// (95 vs 94 species), compares all three TRANSLATOR variants on it, and
+// renders the SELECT(1) rule set as a Graphviz graph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"twoview"
+)
+
+func main() {
+	profile, err := twoview.ProfileByName("mammals")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaled := profile.Scaled(0.5)
+	d, _, err := twoview.Generate(scaled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("areas: %d, species: %d + %d\n\n", st.Size, st.ItemsL, st.ItemsR)
+
+	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d candidate co-habitation patterns (minsup %d)\n\n",
+		len(cands), scaled.MinSupport)
+
+	var keep *twoview.Result
+	for _, cfg := range []struct {
+		name string
+		run  func() *twoview.Result
+	}{
+		{"SELECT(1)", func() *twoview.Result {
+			return twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+		}},
+		{"SELECT(25)", func() *twoview.Result {
+			return twoview.MineSelect(d, cands, twoview.SelectOptions{K: 25})
+		}},
+		{"GREEDY", func() *twoview.Result {
+			return twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+		}},
+	} {
+		res := cfg.run()
+		m := twoview.Summarize(d, res)
+		fmt.Printf("%-10s |T|=%-3d L%%=%-6.1f |C|%%=%-5.1f c+=%.2f  (%v)\n",
+			cfg.name, m.NumRules, m.LPct, m.CorrPct, m.AvgConf, res.Runtime)
+		if keep == nil {
+			keep = res
+		}
+	}
+
+	fmt.Println("\ntop co-habitation rules:")
+	for _, rs := range twoview.TopRules(d, keep.Table, 5) {
+		fmt.Printf("  %-55s supp=%-4d c+=%.2f\n", rs.Rule.Format(d), rs.Supp, rs.Conf)
+	}
+
+	f, err := os.Create("mammals.dot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := twoview.WriteDot(f, d, keep.Table, "mammals"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote mammals.dot (render with: dot -Tsvg mammals.dot)")
+}

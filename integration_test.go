@@ -1,0 +1,201 @@
+package twoview_test
+
+// End-to-end integration tests: build the three CLI tools once and drive
+// them through the full generate → mine → visualize pipeline, plus a
+// cross-module pipeline test exercising the public API the way the CLIs
+// do.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"twoview"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles the cmd binaries once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "twoview-bins")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"translator", "twoviewgen", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return buildDir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateMineVisualize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "house.tv")
+	truth := filepath.Join(dir, "house.rules")
+	dot := filepath.Join(dir, "house.dot")
+
+	// Generate a scaled-down House analogue with ground truth.
+	out := run(t, filepath.Join(bins, "twoviewgen"),
+		"-profile", "house", "-scale", "0.5", "-out", data, "-truth", truth)
+	if !strings.Contains(out, "planted rules") {
+		t.Fatalf("unexpected twoviewgen output:\n%s", out)
+	}
+	if _, err := os.Stat(truth); err != nil {
+		t.Fatal("truth file missing")
+	}
+
+	// The generated file must load through the public API too.
+	d, err := twoview.ReadDatasetFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 217 { // 435 * 0.5
+		t.Fatalf("dataset size = %d", d.Size())
+	}
+
+	// Mine with the candidate-based algorithms on the House analogue.
+	for _, algo := range []string{"select", "greedy"} {
+		args := []string{"-in", data, "-algo", algo, "-minsup", "4"}
+		if algo == "select" {
+			args = append(args, "-dot", dot, "-trace")
+		}
+		out = run(t, filepath.Join(bins, "translator"), args...)
+		if !strings.Contains(out, "translation table") || !strings.Contains(out, "L%") {
+			t.Fatalf("unexpected translator output for %s:\n%s", algo, out)
+		}
+	}
+	// EXACT needs a narrow dataset to stay fast (on House-shaped data it
+	// runs for hours, exactly as Table 2 reports); use a Car analogue.
+	carData := filepath.Join(dir, "car.tv")
+	run(t, filepath.Join(bins, "twoviewgen"), "-profile", "car", "-scale", "0.2", "-out", carData)
+	out = run(t, filepath.Join(bins, "translator"),
+		"-in", carData, "-algo", "exact", "-max-rules", "2")
+	if !strings.Contains(out, "translation table") {
+		t.Fatalf("unexpected translator output for exact:\n%s", out)
+	}
+
+	// Persist a table and re-apply it.
+	table := filepath.Join(dir, "house.tt")
+	run(t, filepath.Join(bins, "translator"),
+		"-in", data, "-algo", "select", "-minsup", "4", "-save", table)
+	out = run(t, filepath.Join(bins, "translator"), "-in", data, "-load", table)
+	if !strings.Contains(out, "loaded") || !strings.Contains(out, "translate L→R") {
+		t.Fatalf("load/apply output unexpected:\n%s", out)
+	}
+	dotBytes, err := os.ReadFile(dot)
+	if err != nil || !strings.Contains(string(dotBytes), "graph") {
+		t.Fatalf("dot output missing or malformed: %v", err)
+	}
+}
+
+func TestCLIExperimentsSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	out := run(t, filepath.Join(bins, "experiments"),
+		"-exp", "fig2", "-scale", "0.2", "-out", dir)
+	if !strings.Contains(out, "Fig. 2") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+	content, err := os.ReadFile(filepath.Join(dir, "fig2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "|U_L|") {
+		t.Fatal("fig2 file content wrong")
+	}
+}
+
+func TestCLIExperimentsList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	out := run(t, filepath.Join(bins, "experiments"), "-list")
+	for _, e := range []string{"table1", "table2small", "table3", "fig7", "recovery", "ablation"} {
+		if !strings.Contains(out, e) {
+			t.Fatalf("experiment %s missing from -list:\n%s", e, out)
+		}
+	}
+	out = run(t, filepath.Join(bins, "twoviewgen"), "-list")
+	if !strings.Contains(out, "elections") {
+		t.Fatal("profile list incomplete")
+	}
+}
+
+// TestPipelineAllModules wires dataset → candidates → all three miners →
+// metrics → DOT in-process, asserting cross-module consistency.
+func TestPipelineAllModules(t *testing.T) {
+	p, err := twoview.ProfileByName("yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, truth, err := twoview.Generate(p.Scaled(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) == 0 {
+		t.Fatal("no ground truth")
+	}
+	cands, err := twoview.MineCandidates(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	gre := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+	ms, mg := twoview.Summarize(d, sel), twoview.Summarize(d, gre)
+	if ms.LPct >= 100 || mg.LPct >= 100 {
+		t.Fatalf("no compression: select %v greedy %v", ms.LPct, mg.LPct)
+	}
+	// SELECT(1) is never worse than GREEDY on the same candidates by more
+	// than numerical noise... actually GREEDY can beat SELECT in theory;
+	// assert only that both are sane and consistent with EvaluateTable.
+	for _, res := range []*twoview.Result{sel, gre} {
+		m1 := twoview.Summarize(d, res)
+		m2 := twoview.EvaluateTable(d, res.Table)
+		if m1.NumRules != m2.NumRules || absDiff(m1.LPct, m2.LPct) > 1e-9 {
+			t.Fatal("Summarize and EvaluateTable disagree")
+		}
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,259 @@
+// Package sigrules implements the significant rule discovery baseline of
+// §6.3 in the spirit of MAGNUM OPUS (Webb, "Discovering significant
+// patterns", Machine Learning 68(1), 2007): candidate rules with an
+// itemset antecedent from one view and a single-item consequent from the
+// other are ranked by leverage on an exploratory half of the data, and the
+// top candidates are then assessed on a holdout half with one-sided
+// binomial tests under a Bonferroni correction. The tool is applied once
+// per direction (antecedent restricted to the left view, then to the
+// right view) and the resulting rule sets are merged, turning rules found
+// in both directions into single bidirectional rules — exactly the
+// protocol the paper uses to obtain comparable two-view output.
+package sigrules
+
+import (
+	"math/rand"
+	"sort"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mine/eclat"
+)
+
+// Options configures Mine.
+type Options struct {
+	// MinSupport is the minimal absolute support of X ∪ {c} on the
+	// exploratory half. Values < 1 mean 1.
+	MinSupport int
+	// MaxAntecedent bounds |X|; 0 means 4 (Magnum Opus' default search
+	// depth is of this order).
+	MaxAntecedent int
+	// TopK bounds the number of candidates per direction that proceed
+	// to holdout assessment; 0 means 1000.
+	TopK int
+	// Alpha is the family-wise significance level; 0 means 0.05.
+	Alpha float64
+	// Seed drives the exploratory/holdout split.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport < 1 {
+		o.MinSupport = 1
+	}
+	if o.MaxAntecedent == 0 {
+		o.MaxAntecedent = 4
+	}
+	if o.TopK == 0 {
+		o.TopK = 1000
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	return o
+}
+
+// Rule is a significant rule with its quality measures on the full data.
+type Rule struct {
+	X, Y itemset.Itemset
+	Dir  core.Direction
+	// Supp is |supp(X ∪ Y)| on the full data.
+	Supp int
+	// Conf is c+ on the full data.
+	Conf float64
+	// PValue is the (uncorrected) holdout binomial p-value; for
+	// bidirectional rules, the larger of the two directions.
+	PValue float64
+}
+
+type candidate struct {
+	ant      itemset.Itemset // antecedent, in its own view's ids
+	cons     int             // consequent item id in the opposite view
+	leverage float64
+}
+
+// Mine runs the two passes and merges their outputs.
+func Mine(d *dataset.Dataset, opt Options) ([]Rule, error) {
+	opt = opt.withDefaults()
+	if d.Size() < 4 {
+		return nil, nil // nothing to split or test
+	}
+	expl, hold, err := split(d, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	fwd, err := minePass(d, expl, hold, dataset.Left, opt)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := minePass(d, expl, hold, dataset.Right, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge: identical (X, Y) found in both directions → bidirectional.
+	type key struct{ x, y string }
+	byKey := map[key]int{}
+	var out []Rule
+	for _, r := range fwd {
+		byKey[key{r.X.String(), r.Y.String()}] = len(out)
+		out = append(out, r)
+	}
+	for _, r := range bwd {
+		if i, ok := byKey[key{r.X.String(), r.Y.String()}]; ok {
+			prev := &out[i]
+			prev.Dir = core.Both
+			if r.PValue > prev.PValue {
+				prev.PValue = r.PValue
+			}
+			if r.Conf > prev.Conf {
+				prev.Conf = r.Conf
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PValue != out[b].PValue {
+			return out[a].PValue < out[b].PValue
+		}
+		ra := core.Rule{X: out[a].X, Dir: out[a].Dir, Y: out[a].Y}
+		rb := core.Rule{X: out[b].X, Dir: out[b].Dir, Y: out[b].Y}
+		return ra.Compare(rb) < 0
+	})
+	return out, nil
+}
+
+// split shuffles transactions and halves the dataset.
+func split(d *dataset.Dataset, seed int64) (expl, hold *dataset.Dataset, err error) {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(d.Size())
+	half := len(perm) / 2
+	if expl, err = d.Subset(perm[:half]); err != nil {
+		return nil, nil, err
+	}
+	if hold, err = d.Subset(perm[half:]); err != nil {
+		return nil, nil, err
+	}
+	return expl, hold, nil
+}
+
+// minePass runs one direction: antecedents from view `antView`.
+func minePass(full, expl, hold *dataset.Dataset, antView dataset.View, opt Options) ([]Rule, error) {
+	consView := antView.Opposite()
+	// Candidate generation on the exploratory half: frequent two-view
+	// itemsets whose projection on the consequent view is one item.
+	fis, err := eclat.Mine(expl, eclat.Options{
+		MinSupport: opt.MinSupport,
+		TwoView:    true,
+		MaxItems:   opt.MaxAntecedent + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nL := expl.Items(dataset.Left)
+	nExpl := float64(expl.Size())
+	var cands []candidate
+	for _, fi := range fis {
+		x, y := eclat.Split(fi.Items, nL)
+		ant, cons := x, y
+		if antView == dataset.Right {
+			ant, cons = y, x
+		}
+		if len(cons) != 1 || len(ant) > opt.MaxAntecedent {
+			continue
+		}
+		suppAnt := expl.Support(antView, ant)
+		suppCons := expl.ItemSupport(consView, cons[0])
+		lev := float64(fi.Supp)/nExpl -
+			(float64(suppAnt)/nExpl)*(float64(suppCons)/nExpl)
+		cands = append(cands, candidate{ant: ant, cons: cons[0], leverage: lev})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].leverage != cands[b].leverage {
+			return cands[a].leverage > cands[b].leverage
+		}
+		if c := itemset.Compare(cands[a].ant, cands[b].ant); c != 0 {
+			return c < 0
+		}
+		return cands[a].cons < cands[b].cons
+	})
+	if len(cands) > opt.TopK {
+		cands = cands[:opt.TopK]
+	}
+
+	// Holdout assessment with Bonferroni correction over the candidates
+	// actually tested (both passes use the same per-pass budget).
+	threshold := opt.Alpha / float64(maxInt(1, len(cands)))
+	var out []Rule
+	consCols := hold.Columns(consView)
+	for _, c := range cands {
+		antTids := hold.SupportSet(antView, c.ant)
+		n := antTids.Count()
+		if n == 0 {
+			continue
+		}
+		k := 0
+		antTids.ForEach(func(t int) bool {
+			if consCols[c.cons].Contains(t) {
+				k++
+			}
+			return true
+		})
+		p0 := float64(consCols[c.cons].Count()) / float64(hold.Size())
+		pv := BinomialTailP(k, n, p0)
+		if pv > threshold {
+			continue
+		}
+		r := buildRule(full, antView, c, pv)
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out, nil
+}
+
+// buildRule re-measures the accepted rule on the full data and puts X on
+// the left as the core.Rule convention requires.
+func buildRule(full *dataset.Dataset, antView dataset.View, c candidate, pv float64) *Rule {
+	var x, y itemset.Itemset
+	var dir core.Direction
+	if antView == dataset.Left {
+		x, y, dir = c.ant, itemset.New(c.cons), core.Forward
+	} else {
+		x, y, dir = itemset.New(c.cons), c.ant, core.Backward
+	}
+	joint := full.JointSupportSet(x, y).Count()
+	if joint == 0 {
+		return nil
+	}
+	suppAnt := full.Support(antView, c.ant)
+	if suppAnt == 0 {
+		return nil
+	}
+	return &Rule{
+		X: x, Y: y, Dir: dir,
+		Supp:   joint,
+		Conf:   float64(joint) / float64(suppAnt),
+		PValue: pv,
+	}
+}
+
+// ToTable converts significant rules into a translation table for scoring
+// under the paper's encoding.
+func ToTable(rules []Rule) *core.Table {
+	t := &core.Table{Rules: make([]core.Rule, len(rules))}
+	for i, r := range rules {
+		t.Rules[i] = core.Rule{X: r.X, Dir: r.Dir, Y: r.Y}
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package sigrules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+)
+
+func TestBinomialTailPExactSmall(t *testing.T) {
+	// Direct enumeration for n = 4, p = 0.5: P[X>=2] = 11/16.
+	if got := BinomialTailP(2, 4, 0.5); math.Abs(got-11.0/16) > 1e-12 {
+		t.Fatalf("P[X>=2|4,0.5] = %v, want %v", got, 11.0/16)
+	}
+	if got := BinomialTailP(0, 10, 0.3); got != 1 {
+		t.Fatalf("P[X>=0] = %v, want 1", got)
+	}
+	if got := BinomialTailP(11, 10, 0.3); got != 0 {
+		t.Fatalf("P[X>11 trials] = %v, want 0", got)
+	}
+	if got := BinomialTailP(10, 10, 0.5); math.Abs(got-math.Pow(0.5, 10)) > 1e-15 {
+		t.Fatalf("P[X=n] = %v", got)
+	}
+	if BinomialTailP(1, 10, 0) != 0 || BinomialTailP(1, 10, 1) != 1 {
+		t.Fatal("degenerate p handling wrong")
+	}
+}
+
+func TestBinomialTailPMonotonicity(t *testing.T) {
+	// Tail probability decreases in k and increases in p.
+	prev := 2.0
+	for k := 0; k <= 20; k++ {
+		cur := BinomialTailP(k, 20, 0.4)
+		if cur > prev+1e-12 {
+			t.Fatalf("tail not decreasing at k=%d", k)
+		}
+		prev = cur
+	}
+	if BinomialTailP(5, 20, 0.2) > BinomialTailP(5, 20, 0.6) {
+		t.Fatal("tail not increasing in p")
+	}
+}
+
+func TestBinomialTailPAgainstBruteForce(t *testing.T) {
+	choose := func(n, k int) float64 {
+		c := 1.0
+		for i := 0; i < k; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		return c
+	}
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(25)
+		k := r.Intn(n + 1)
+		p := r.Float64()
+		want := 0.0
+		for i := k; i <= n; i++ {
+			want += choose(n, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+		}
+		if got := BinomialTailP(k, n, p); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("P[X>=%d|%d,%v] = %v, want %v", k, n, p, got, want)
+		}
+	}
+}
+
+// strongData plants a near-perfect implication l0 → r0 in 200 rows plus a
+// noise item; big enough that the holdout half still shows significance.
+func strongData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(17))
+	d := dataset.MustNew([]string{"l0", "l1"}, []string{"r0", "r1"})
+	for i := 0; i < 200; i++ {
+		var left, right []int
+		if i%2 == 0 {
+			left = append(left, 0)
+			right = append(right, 0) // l0 ⇒ r0 always
+		}
+		if r.Intn(4) == 0 {
+			left = append(left, 1)
+		}
+		if r.Intn(4) == 0 {
+			right = append(right, 1)
+		}
+		if err := d.AddRow(left, right); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestMineFindsSignificantRule(t *testing.T) {
+	d := strongData(t)
+	rules, err := Mine(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no significant rules found")
+	}
+	found := false
+	for _, r := range rules {
+		if r.X.Equal([]int{0}) && r.Y.Equal([]int{0}) {
+			found = true
+			if r.Conf < 0.95 {
+				t.Fatalf("l0→r0 confidence %v too low", r.Conf)
+			}
+			// The implication holds both ways here (r0 occurs only with
+			// l0), so the merged rule should be bidirectional.
+			if r.Dir != core.Both {
+				t.Fatalf("expected bidirectional merge, got %v", r.Dir)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted rule not found; got %d rules", len(rules))
+	}
+	// No rule involving the pure-noise items should be significant.
+	for _, r := range rules {
+		if r.X.Equal([]int{1}) && r.Y.Equal([]int{1}) {
+			t.Fatal("noise rule declared significant")
+		}
+	}
+}
+
+func TestMineRejectsNoise(t *testing.T) {
+	// Fully independent views: nothing should be significant.
+	r := rand.New(rand.NewSource(23))
+	d := dataset.MustNew(dataset.GenericNames("l", 4), dataset.GenericNames("r", 4))
+	for i := 0; i < 300; i++ {
+		var left, right []int
+		for j := 0; j < 4; j++ {
+			if r.Intn(3) == 0 {
+				left = append(left, j)
+			}
+			if r.Intn(3) == 0 {
+				right = append(right, j)
+			}
+		}
+		d.AddRow(left, right)
+	}
+	rules, err := Mine(d, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bonferroni keeps the family-wise error at 5%; tolerate at most one
+	// fluke to keep the test robust.
+	if len(rules) > 1 {
+		t.Fatalf("%d rules declared significant on independent noise", len(rules))
+	}
+}
+
+func TestMineTinyDataset(t *testing.T) {
+	d := dataset.MustNew([]string{"a"}, []string{"b"})
+	d.AddRow([]int{0}, []int{0})
+	rules, err := Mine(d, Options{})
+	if err != nil || len(rules) != 0 {
+		t.Fatalf("tiny dataset should yield nothing: %v, %v", rules, err)
+	}
+}
+
+func TestToTable(t *testing.T) {
+	d := strongData(t)
+	rules, err := Mine(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := ToTable(rules)
+	if tab.Size() != len(rules) {
+		t.Fatal("ToTable lost rules")
+	}
+	if err := tab.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineDeterministicForSeed(t *testing.T) {
+	d := strongData(t)
+	a, err := Mine(d, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(d, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a {
+		if !a[i].X.Equal(b[i].X) || !a[i].Y.Equal(b[i].Y) || a[i].Dir != b[i].Dir {
+			t.Fatal("rule mismatch between runs")
+		}
+	}
+}

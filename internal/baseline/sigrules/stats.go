@@ -1,0 +1,57 @@
+package sigrules
+
+import "math"
+
+// BinomialTailP returns P[Bin(n, p) >= k], the one-sided p-value of
+// observing at least k successes in n trials under success probability p.
+// Computed in log space for numerical stability.
+func BinomialTailP(k, n int, p float64) float64 {
+	switch {
+	case n < 0 || k < 0:
+		return 1
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	case p <= 0:
+		return 0 // k >= 1 successes are impossible
+	case p >= 1:
+		return 1
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	total := math.Inf(-1) // log(0)
+	for i := k; i <= n; i++ {
+		lterm := logChoose(n, i) + float64(i)*lp + float64(n-i)*lq
+		total = logAdd(total, lterm)
+	}
+	pv := math.Exp(total)
+	if pv > 1 {
+		pv = 1
+	}
+	return pv
+}
+
+// logChoose returns log C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// logAdd returns log(exp(a) + exp(b)) without overflow.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

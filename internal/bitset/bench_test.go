@@ -1,0 +1,63 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSet(r *rand.Rand, n int, density float64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < density {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomSet(r, 50_000, 0.2)
+	y := randomSet(r, 50_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectCount(x, y)
+	}
+}
+
+func BenchmarkIntersectInto(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	x := randomSet(r, 50_000, 0.2)
+	y := randomSet(r, 50_000, 0.2)
+	dst := New(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectInto(dst, x, y)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	x := randomSet(r, 50_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		x.ForEach(func(j int) bool {
+			sum += j
+			return true
+		})
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	big := randomSet(r, 50_000, 0.5)
+	small := big.Clone()
+	small.And(randomSet(r, 50_000, 0.3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !small.SubsetOf(big) {
+			b.Fatal("subset violated")
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package bitset provides dense, fixed-width bitmaps used throughout the
+// repository both as transaction tidsets (one bit per transaction) and as
+// item rows (one bit per item of a view). All operations are word-wise on
+// 64-bit words; none allocate unless explicitly documented.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-width bitmap. The zero value is an empty set of width 0;
+// use New to create a set of a given width. Bits at positions >= width are
+// always zero (maintained as an invariant by all operations).
+type Set struct {
+	words []uint64
+	n     int // width in bits
+}
+
+// New returns an empty set able to hold n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative width %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set of width n with exactly the given bits set.
+func FromIndices(n int, idx []int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the width of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Words exposes the underlying words for read-only iteration by hot loops.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of o. Widths must match.
+func (s *Set) Copy(o *Set) {
+	s.mustMatch(o)
+	copy(s.words, o.words)
+}
+
+// Clear unsets all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits in [0, width).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the bits beyond the width in the last word.
+func (s *Set) trim() {
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: width mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// And sets s = s ∩ o.
+func (s *Set) And(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// Or sets s = s ∪ o.
+func (s *Set) Or(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// AndNot sets s = s \ o.
+func (s *Set) AndNot(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Xor sets s = s △ o (symmetric difference).
+func (s *Set) Xor(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] ^= o.words[i]
+	}
+}
+
+// IntersectInto sets dst = a ∩ b, reusing dst's storage. All three must have
+// the same width. dst may alias a or b.
+func IntersectInto(dst, a, b *Set) {
+	a.mustMatch(b)
+	a.mustMatch(dst)
+	for i := range dst.words {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// IntersectCount returns |a ∩ b| without allocating.
+func IntersectCount(a, b *Set) int {
+	a.mustMatch(b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] & b.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and o contain exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every bit of s is also set in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.mustMatch(o)
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one bit.
+func (s *Set) Intersects(o *Set) bool {
+	s.mustMatch(o)
+	for i := range s.words {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether every index in idx is set. idx must be within
+// range; it does not need to be sorted.
+func (s *Set) ContainsAll(idx []int) bool {
+	for _, i := range idx {
+		if !s.Contains(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f for every set bit in ascending order. If f returns false,
+// iteration stops early.
+func (s *Set) ForEach(f func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the set bits in ascending order as a fresh slice.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as {i1 i2 ...} for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

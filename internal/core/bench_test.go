@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mdl"
+)
+
+// Micro-benchmarks of the hot core operations: gain evaluation, rule
+// application, and one exact best-rule search.
+
+func benchState(b *testing.B) (*State, *dataset.Dataset) {
+	b.Helper()
+	d := plantedDataset(b, 77)
+	return NewState(d, mdl.NewCoder(d)), d
+}
+
+func BenchmarkGain(b *testing.B) {
+	s, _ := benchState(b)
+	r := Rule{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(0, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Gain(r)
+	}
+}
+
+func BenchmarkGainWithTids(b *testing.B) {
+	s, d := benchState(b)
+	r := Rule{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(0, 1)}
+	tidX := d.SupportSet(dataset.Left, r.X)
+	tidY := d.SupportSet(dataset.Right, r.Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GainWithTids(r, tidX, tidY)
+	}
+}
+
+func BenchmarkAddRule(b *testing.B) {
+	d := plantedDataset(b, 78)
+	coder := mdl.NewCoder(d)
+	r := Rule{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(0, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewState(d, coder)
+		s.AddRule(r)
+	}
+}
+
+func BenchmarkBestRule(b *testing.B) {
+	s, _ := benchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := bestRule(s, ExactOptions{}); !ok {
+			b.Fatal("no rule found")
+		}
+	}
+}
+
+func BenchmarkTranslateRow(b *testing.B) {
+	d := plantedDataset(b, 79)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(0, 1)},
+		{X: itemset.New(2), Dir: Forward, Y: itemset.New(3)},
+	}}
+	row := d.Row(dataset.Left, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TranslateRow(d, tab, dataset.Left, row)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mine/eclat"
+)
+
+// Candidate is one candidate rule skeleton for TRANSLATOR-SELECT and
+// TRANSLATOR-GREEDY: a two-view itemset Z split into X = Z ∩ I_L and
+// Y = Z ∩ I_R, with cached support tidsets for both sides.
+type Candidate struct {
+	X, Y itemset.Itemset
+	// Supp is the joint support |supp(X ∪ Y)|.
+	Supp int
+	// TidX and TidY are the per-view supports of X and Y, used to
+	// compute gains without re-intersecting columns.
+	TidX, TidY *bitset.Set
+}
+
+// MineCandidates mines closed frequent two-view itemsets at the given
+// minimum support and converts them into candidates, mirroring §5.3 ("all
+// itemsets Z with |supp(Z)| > minsup, Z ∩ I_L ≠ ∅ and Z ∩ I_R ≠ ∅",
+// restricted to closed sets as in §6.1). maxResults guards against
+// pattern explosion (0 = unbounded).
+func MineCandidates(d *dataset.Dataset, minSupport, maxResults int) ([]Candidate, error) {
+	fis, err := eclat.Mine(d, eclat.Options{
+		MinSupport: minSupport,
+		Closed:     true,
+		TwoView:    true,
+		MaxResults: maxResults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, 0, len(fis))
+	for _, fi := range fis {
+		x, y := eclat.Split(fi.Items, d.Items(dataset.Left))
+		out = append(out, Candidate{
+			X:    x,
+			Y:    y,
+			Supp: fi.Supp,
+			TidX: d.SupportSet(dataset.Left, x),
+			TidY: d.SupportSet(dataset.Right, y),
+		})
+	}
+	return out, nil
+}
+
+// MineCandidatesCapped mines candidates like MineCandidates but, instead
+// of failing on a pattern explosion, doubles the minimum support until at
+// most maxResults candidates remain — the paper's protocol of fixing
+// minsup "such that the number of candidates remains manageable" (§6.1).
+// It returns the candidates and the effective minimum support.
+func MineCandidatesCapped(d *dataset.Dataset, minSupport, maxResults int) ([]Candidate, int, error) {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if maxResults <= 0 {
+		cands, err := MineCandidates(d, minSupport, 0)
+		return cands, minSupport, err
+	}
+	for {
+		cands, err := MineCandidates(d, minSupport, maxResults)
+		if err == nil {
+			return cands, minSupport, nil
+		}
+		next := minSupport * 2
+		if next > d.Size() {
+			return nil, minSupport, err
+		}
+		minSupport = next
+	}
+}

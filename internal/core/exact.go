@@ -1,0 +1,254 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mdl"
+)
+
+// This file implements TRANSLATOR-EXACT (Algorithm 2): starting from the
+// empty table, iteratively add the rule with the globally maximal gain
+// until no rule improves compression. The best rule is found by an
+// ECLAT-style depth-first search over all pairs of itemsets occurring
+// jointly in the data, with branch-and-bound pruning via the rule-based
+// upper bound rub and evaluation skipping via the quick bound qub (§5.2).
+//
+// As the paper observes (§6.1), the bounds are highly effective in the
+// first iterations and lose power once per-rule gains shrink, so exact
+// search is "most attractive when one is only interested in few rules";
+// MaxRules caps the iterations for that use.
+
+// ExactOptions configures MineExact.
+type ExactOptions struct {
+	// MaxRules stops after this many rules; 0 means no limit (the
+	// natural MDL stopping criterion applies either way).
+	MaxRules int
+	// Trace observes each added rule.
+	Trace TraceFunc
+	// DisableRub and DisableQub turn off the §5.2 pruning bounds. The
+	// search then degenerates to exhaustive enumeration of occurring
+	// pairs; results are identical. Used by the ablation benchmarks.
+	DisableRub bool
+	DisableQub bool
+}
+
+// MineExact runs TRANSLATOR-EXACT on d and returns the induced translation
+// table. It is parameter-free (ExactOptions only bounds or observes it).
+func MineExact(d *dataset.Dataset, opt ExactOptions) *Result {
+	start := time.Now()
+	coder := mdl.NewCoder(d)
+	s := NewState(d, coder)
+	res := &Result{State: s}
+	for opt.MaxRules == 0 || len(s.table.Rules) < opt.MaxRules {
+		r, gain, ok := bestRule(s, opt)
+		if !ok || gain <= gainEpsilon {
+			break
+		}
+		s.AddRule(r)
+		res.record(s, r, gain, opt.Trace)
+	}
+	res.Table = s.Table()
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// joinedItem is one item of the joined alphabet used by the search.
+type joinedItem struct {
+	view dataset.View
+	id   int         // id within its view
+	col  *bitset.Set // tidset
+	len  float64     // L(item | its view)
+	pot  float64     // ordering potential Σ_{t∈supp} tub(t_opposite)
+}
+
+// exactSearch carries the state of one best-rule search.
+type exactSearch struct {
+	s     *State
+	opt   ExactOptions
+	items []joinedItem
+
+	// Per-depth scratch bitsets, so the DFS allocates only when it goes
+	// deeper than ever before.
+	levels []levelBufs
+
+	best     Rule
+	bestGain float64
+	found    bool
+}
+
+type levelBufs struct {
+	xy   *bitset.Set // joint support of the extended pair
+	side *bitset.Set // per-view support of the extended side
+}
+
+func (se *exactSearch) bufs(depth int) *levelBufs {
+	for len(se.levels) <= depth {
+		n := se.s.d.Size()
+		se.levels = append(se.levels, levelBufs{xy: bitset.New(n), side: bitset.New(n)})
+	}
+	return &se.levels[depth]
+}
+
+// bestRule returns argmax_r Δ_{D,T}(r) over all rules whose X∪Y occurs in
+// the data, with a deterministic tie-break. ok is false when the dataset
+// admits no rule at all.
+func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
+	d := s.d
+	var items []joinedItem
+	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+		cols := d.Columns(v)
+		for i := 0; i < d.Items(v); i++ {
+			if cols[i].Empty() {
+				continue // items that never occur cannot enter a rule
+			}
+			items = append(items, joinedItem{
+				view: v,
+				id:   i,
+				col:  cols[i],
+				len:  s.coder.ItemLen(v, i),
+				pot:  s.SumTub(v.Opposite(), cols[i]),
+			})
+		}
+	}
+	// Descending by potential; deterministic tie-break by view then id.
+	sort.Slice(items, func(a, b int) bool {
+		ia, ib := items[a], items[b]
+		if ia.pot != ib.pot {
+			return ia.pot > ib.pot
+		}
+		if ia.view != ib.view {
+			return ia.view < ib.view
+		}
+		return ia.id < ib.id
+	})
+
+	se := &exactSearch{s: s, opt: opt, items: items}
+	se.seed()
+	n := d.Size()
+	full := bitset.New(n)
+	full.Fill()
+	se.dfs(nil, nil, full, full.Clone(), full.Clone(), 0, 0, 0, 0)
+	return se.best, se.bestGain, se.found
+}
+
+// seed evaluates every occurring singleton pair ({i}, {j}) before the
+// depth-first search. The resulting incumbent is a true gain, so pruning
+// against it is sound — it just starts the search with a competitive
+// threshold instead of zero, which the tub-based item order alone cannot
+// guarantee. Exactness is unaffected: the DFS still visits every
+// candidate subtree whose bound exceeds the incumbent.
+func (se *exactSearch) seed() {
+	var lefts, rights []*joinedItem
+	for i := range se.items {
+		if se.items[i].view == dataset.Left {
+			lefts = append(lefts, &se.items[i])
+		} else {
+			rights = append(rights, &se.items[i])
+		}
+	}
+	for _, li := range lefts {
+		for _, ri := range rights {
+			if !li.col.Intersects(ri.col) {
+				continue // the pair must occur in the data
+			}
+			se.evaluate(itemset.New(li.id), itemset.New(ri.id),
+				li.col, ri.col, li.len, ri.len)
+		}
+	}
+}
+
+// dfs extends the pair (x, y) with items at positions ≥ start in the
+// global order. tidX and tidY are the supports of x and y within their
+// own views; tidXY is their intersection (the joint support of x ∪ y).
+// lenX and lenY carry L(x|D_L) and L(y|D_R) incrementally; depth is the
+// recursion level used for scratch buffers.
+func (se *exactSearch) dfs(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, start, depth int, lenX, lenY float64) {
+	for k := start; k < len(se.items); k++ {
+		it := se.items[k]
+		bufs := se.bufs(depth)
+		// The joint support of the extended pair.
+		childXY := bufs.xy
+		bitset.IntersectInto(childXY, tidXY, it.col)
+		if childXY.Empty() {
+			continue // X∪Y must occur in the data (§5.2)
+		}
+		var cx, cy itemset.Itemset
+		var ctX, ctY *bitset.Set
+		clenX, clenY := lenX, lenY
+		if it.view == dataset.Left {
+			cx, cy = insertItem(x, it.id), y
+			ctX = bufs.side
+			bitset.IntersectInto(ctX, tidX, it.col)
+			ctY = tidY
+			clenX += it.len
+		} else {
+			cx, cy = x, insertItem(y, it.id)
+			ctX = tidX
+			ctY = bufs.side
+			bitset.IntersectInto(ctY, tidY, it.col)
+			clenY += it.len
+		}
+		if !se.opt.DisableRub {
+			// rub(X◇Y) = Σ_{X⊆tL} tub(tR) + Σ_{Y⊆tR} tub(tL) − L(X↔Y),
+			// antitone under extension, so it prunes the whole subtree.
+			rub := se.s.SumTub(dataset.Right, ctX) +
+				se.s.SumTub(dataset.Left, ctY) - (clenX + clenY + 1)
+			if rub <= se.bestGain {
+				continue
+			}
+		}
+		if len(cx) > 0 && len(cy) > 0 {
+			se.evaluate(cx, cy, ctX, ctY, clenX, clenY)
+		}
+		se.dfs(cx, cy, ctX, ctY, childXY, k+1, depth+1, clenX, clenY)
+	}
+}
+
+// insertItem returns s ∪ {x} in canonical order (x may fall anywhere,
+// since the global search order mixes the two views arbitrarily).
+func insertItem(s itemset.Itemset, x int) itemset.Itemset {
+	i := sort.SearchInts(s, x)
+	out := make(itemset.Itemset, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// evaluate computes the exact gains of the three rules formed by (x, y)
+// and updates the incumbent.
+func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, lenX, lenY float64) {
+	s := se.s
+	lenBi := lenX + lenY + 1
+	lenUni := lenX + lenY + 2
+	if !se.opt.DisableQub {
+		// qub(X◇Y) = |supp(X)|·L(Y) + |supp(Y)|·L(X) − L(X↔Y) bounds all
+		// three directions; skip the exact gain computation if hopeless.
+		qub := float64(tidX.Count())*lenY + float64(tidY.Count())*lenX - lenBi
+		if qub <= se.bestGain {
+			return
+		}
+	}
+	gainF := s.gainDir(dataset.Left, tidX, y)
+	gainB := s.gainDir(dataset.Right, tidY, x)
+	for _, cand := range [3]struct {
+		dir  Direction
+		gain float64
+	}{
+		{Forward, gainF - lenUni},
+		{Backward, gainB - lenUni},
+		{Both, gainF + gainB - lenBi},
+	} {
+		r := Rule{X: x, Dir: cand.dir, Y: y}
+		if cand.gain > se.bestGain ||
+			(se.found && cand.gain == se.bestGain && r.Compare(se.best) < 0) {
+			se.best = Rule{X: x.Clone(), Dir: cand.dir, Y: y.Clone()}
+			se.bestGain = cand.gain
+			se.found = true
+		}
+	}
+}

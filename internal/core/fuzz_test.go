@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twoview/internal/dataset"
+)
+
+// FuzzReadTable: the table parser must never panic, and accepted tables
+// must round-trip and validate.
+func FuzzReadTable(f *testing.F) {
+	f.Add("A -> L\n")
+	f.Add("A, B <-> L, U\nC <- S\n")
+	f.Add("# comment\n\nD -> Q\n")
+	f.Add("A ->\n")
+	f.Add("-> L\n")
+	f.Add("A <-> <-> L\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d := dataset.MustNew(
+			[]string{"A", "B", "C", "D", "E"},
+			[]string{"K", "L", "P", "Q", "S", "U"},
+		)
+		d.AddRow([]int{0, 1, 2, 3, 4}, []int{0, 1, 2, 3, 4, 5})
+		tab, err := ReadTable(strings.NewReader(input), d)
+		if err != nil {
+			return
+		}
+		if err := tab.Validate(d); err != nil {
+			t.Fatalf("accepted table does not validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, d, tab); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		tab2, err := ReadTable(&buf, d)
+		if err != nil || tab2.Size() != tab.Size() {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		for i := range tab.Rules {
+			if tab2.Rules[i].Compare(tab.Rules[i]) != 0 {
+				t.Fatal("round trip changed a rule")
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"twoview/internal/dataset"
+	"twoview/internal/mdl"
+)
+
+// This file implements TRANSLATOR-GREEDY (§5.4): single-pass filtering in
+// the style of KRIMP. Candidates are ordered descending first by length
+// and then by support; each candidate is considered exactly once, the best
+// of its three rule instantiations is added if its gain is strictly
+// positive, and discarded candidates are never revisited.
+
+// GreedyOptions configures MineGreedy.
+type GreedyOptions struct {
+	// MaxRules stops after this many rules; 0 means no limit.
+	MaxRules int
+	// Trace observes each added rule.
+	Trace TraceFunc
+}
+
+// MineGreedy runs TRANSLATOR-GREEDY over the given candidates.
+func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Result {
+	start := time.Now()
+	coder := mdl.NewCoder(d)
+	s := NewState(d, coder)
+	res := &Result{State: s}
+
+	// Order: length desc, then support desc, then deterministic.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := &cands[order[a]], &cands[order[b]]
+		la, lb := len(ca.X)+len(ca.Y), len(cb.X)+len(cb.Y)
+		if la != lb {
+			return la > lb
+		}
+		if ca.Supp != cb.Supp {
+			return ca.Supp > cb.Supp
+		}
+		ra := Rule{X: ca.X, Y: ca.Y}
+		rb := Rule{X: cb.X, Y: cb.Y}
+		return ra.Compare(rb) < 0
+	})
+
+	for _, ci := range order {
+		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
+			break
+		}
+		c := &cands[ci]
+		if s.Qub(c.X, c.Y, c.TidX.Count(), c.TidY.Count()) <= gainEpsilon {
+			continue
+		}
+		gainF := s.gainDir(dataset.Left, c.TidX, c.Y)
+		gainB := s.gainDir(dataset.Right, c.TidY, c.X)
+		lenUni := coder.RuleLen(c.X, c.Y, false)
+		lenBi := coder.RuleLen(c.X, c.Y, true)
+
+		best := Rule{X: c.X, Dir: Forward, Y: c.Y}
+		bestGain := gainF - lenUni
+		if g := gainB - lenUni; g > bestGain {
+			best, bestGain = Rule{X: c.X, Dir: Backward, Y: c.Y}, g
+		}
+		if g := gainF + gainB - lenBi; g > bestGain {
+			best, bestGain = Rule{X: c.X, Dir: Both, Y: c.Y}, g
+		}
+		if bestGain <= gainEpsilon {
+			continue // discarded and never considered again
+		}
+		s.AddRule(best)
+		res.record(s, best, bestGain, opt.Trace)
+	}
+	res.Table = s.Table()
+	res.Runtime = time.Since(start)
+	return res
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// Parallel candidate scoring must not change results: SELECT with one
+// worker and with many workers produce identical tables.
+func TestMineSelectParallelDeterminism(t *testing.T) {
+	d := plantedDataset(t, 31)
+	cands, err := MineCandidates(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := MineSelect(d, cands, SelectOptions{K: 25, Workers: 1})
+	for _, workers := range []int{2, 4, 7} {
+		par := MineSelect(d, cands, SelectOptions{K: 25, Workers: workers})
+		if par.Table.Size() != serial.Table.Size() {
+			t.Fatalf("workers=%d: %d rules, serial %d",
+				workers, par.Table.Size(), serial.Table.Size())
+		}
+		for i := range serial.Table.Rules {
+			if par.Table.Rules[i].Compare(serial.Table.Rules[i]) != 0 {
+				t.Fatalf("workers=%d: rule %d differs", workers, i)
+			}
+		}
+		if par.State.Score() != serial.State.Score() {
+			t.Fatalf("workers=%d: score differs", workers)
+		}
+	}
+}
+
+// Default (Workers=0 → GOMAXPROCS) matches the serial result too.
+func TestMineSelectDefaultWorkers(t *testing.T) {
+	d := plantedDataset(t, 32)
+	cands, err := MineCandidates(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MineSelect(d, cands, SelectOptions{K: 1, Workers: 1})
+	b := MineSelect(d, cands, SelectOptions{K: 1})
+	if a.Table.Size() != b.Table.Size() || a.State.Score() != b.State.Score() {
+		t.Fatal("default workers changed the result")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"twoview/internal/dataset"
+)
+
+// IterationStats records one step of table construction. The series over
+// all iterations regenerates Fig. 2 of the paper (numbers of uncovered
+// and erroneous items, and the evolution of the encoded lengths).
+type IterationStats struct {
+	Iteration  int     // 1-based
+	Rule       Rule    // the rule added in this iteration
+	Gain       float64 // Δ_{D,T}(rule) at the time of addition
+	Score      float64 // L(D_L↔R, T) after the addition
+	UncoveredL int     // |U_L| after the addition
+	UncoveredR int     // |U_R|
+	ErrorsL    int     // |E_L|
+	ErrorsR    int     // |E_R|
+	TableLen   float64 // L(T)
+	CorrLenL   float64 // L(D_L←R | T) = L(C_L | T)
+	CorrLenR   float64 // L(D_L→R | T) = L(C_R | T)
+}
+
+// TraceFunc observes each iteration of a TRANSLATOR algorithm as it runs.
+type TraceFunc func(IterationStats)
+
+// Result is the output of a TRANSLATOR algorithm.
+type Result struct {
+	Table      *Table
+	State      *State           // final state; Score, L%, |C|% etc.
+	Iterations []IterationStats // one entry per added rule
+	Runtime    time.Duration
+}
+
+// record captures the state after adding rule r and appends it to the
+// result, also forwarding to the trace callback if any.
+func (res *Result) record(s *State, r Rule, gain float64, trace TraceFunc) {
+	it := IterationStats{
+		Iteration:  len(res.Iterations) + 1,
+		Rule:       r,
+		Gain:       gain,
+		Score:      s.Score(),
+		UncoveredL: s.UncoveredOnes(dataset.Left),
+		UncoveredR: s.UncoveredOnes(dataset.Right),
+		ErrorsL:    s.ErrorOnes(dataset.Left),
+		ErrorsR:    s.ErrorOnes(dataset.Right),
+		TableLen:   s.TableLen(),
+		CorrLenL:   s.CorrLen(dataset.Left),
+		CorrLenR:   s.CorrLen(dataset.Right),
+	}
+	res.Iterations = append(res.Iterations, it)
+	if trace != nil {
+		trace(it)
+	}
+}
+
+// gainEpsilon guards against accepting rules whose gain is positive only
+// through floating-point noise.
+const gainEpsilon = 1e-9

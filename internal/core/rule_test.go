@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mdl"
+)
+
+// fig1 reproduces the structure of the toy dataset of Fig. 1: left items
+// A..E, right items K..U (a small subset suffices).
+func fig1(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.MustNew(
+		[]string{"A", "B", "C", "D", "E"},
+		[]string{"K", "L", "P", "Q", "S", "U"},
+	)
+	rows := [][2][]int{
+		{{0, 1}, {1, 5}},       // A B     | L U
+		{{1, 2}, {2, 3, 4}},    //   B C   | P Q S
+		{{2, 3}, {4}},          //     C D | S
+		{{0, 1, 3}, {1, 3, 5}}, // A B D   | L Q U
+		{{0, 1, 4}, {0, 1, 5}}, // A B   E | K L U
+	}
+	for _, r := range rows {
+		if err := d.AddRow(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestDirectionBasics(t *testing.T) {
+	if Forward.String() != "->" || Backward.String() != "<-" || Both.String() != "<->" {
+		t.Fatal("Direction strings wrong")
+	}
+	if !strings.Contains(Direction(9).String(), "9") {
+		t.Fatal("unknown direction should render its value")
+	}
+	if !Both.Bidirectional() || Forward.Bidirectional() || Backward.Bidirectional() {
+		t.Fatal("Bidirectional wrong")
+	}
+}
+
+func TestRuleAppliesToAndSides(t *testing.T) {
+	r := Rule{X: itemset.New(0), Dir: Forward, Y: itemset.New(1)}
+	if !r.AppliesTo(dataset.Left) || r.AppliesTo(dataset.Right) {
+		t.Fatal("Forward applies only from Left")
+	}
+	r.Dir = Backward
+	if r.AppliesTo(dataset.Left) || !r.AppliesTo(dataset.Right) {
+		t.Fatal("Backward applies only from Right")
+	}
+	r.Dir = Both
+	if !r.AppliesTo(dataset.Left) || !r.AppliesTo(dataset.Right) {
+		t.Fatal("Both applies from both sides")
+	}
+	if !r.Antecedent(dataset.Left).Equal(r.X) || !r.Consequent(dataset.Left).Equal(r.Y) {
+		t.Fatal("Left antecedent/consequent wrong")
+	}
+	if !r.Antecedent(dataset.Right).Equal(r.Y) || !r.Consequent(dataset.Right).Equal(r.X) {
+		t.Fatal("Right antecedent/consequent wrong")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	d := fig1(t)
+	good := Rule{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1)}
+	if err := good.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Rule{
+		{X: nil, Dir: Forward, Y: itemset.New(0)},
+		{X: itemset.New(0), Dir: Forward, Y: nil},
+		{X: itemset.New(0), Dir: Direction(7), Y: itemset.New(0)},
+		{X: itemset.New(99), Dir: Forward, Y: itemset.New(0)},
+		{X: itemset.New(0), Dir: Forward, Y: itemset.New(99)},
+		{X: itemset.Itemset{2, 1}, Dir: Forward, Y: itemset.New(0)},
+		{X: itemset.Itemset{-1}, Dir: Forward, Y: itemset.New(0)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(d); err == nil {
+			t.Errorf("bad rule %d validated: %v", i, r)
+		}
+	}
+}
+
+func TestRuleLenAndCompare(t *testing.T) {
+	d := fig1(t)
+	coder := mdl.NewCoder(d)
+	x, y := itemset.New(0), itemset.New(1)
+	uni := Rule{X: x, Dir: Forward, Y: y}.Len(coder)
+	bi := Rule{X: x, Dir: Both, Y: y}.Len(coder)
+	if math.Abs(uni-bi-1) > 1e-12 {
+		t.Fatalf("unidirectional rule must cost exactly 1 extra bit: %v vs %v", uni, bi)
+	}
+	a := Rule{X: itemset.New(0), Dir: Forward, Y: itemset.New(1)}
+	b := Rule{X: itemset.New(0), Dir: Both, Y: itemset.New(1)}
+	c := Rule{X: itemset.New(1), Dir: Forward, Y: itemset.New(1)}
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 || a.Compare(c) >= 0 {
+		t.Fatal("Compare order wrong")
+	}
+}
+
+func TestRuleStringsAndTable(t *testing.T) {
+	d := fig1(t)
+	r := Rule{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1)}
+	if got := r.Format(d); got != "{A, B} <-> {L}" {
+		t.Fatalf("Format = %q", got)
+	}
+	if got := r.String(); got != "{0 1} <-> {1}" {
+		t.Fatalf("String = %q", got)
+	}
+	tab := &Table{Rules: []Rule{
+		r,
+		{X: itemset.New(2), Dir: Forward, Y: itemset.New(4)},
+	}}
+	if tab.Size() != 2 {
+		t.Fatal("Size wrong")
+	}
+	if got := tab.AvgRuleItems(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("AvgRuleItems = %v, want 2.5", got)
+	}
+	if (&Table{}).AvgRuleItems() != 0 {
+		t.Fatal("empty table AvgRuleItems should be 0")
+	}
+	if err := tab.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	tab.Rules = append(tab.Rules, Rule{})
+	if err := tab.Validate(d); err == nil {
+		t.Fatal("invalid rule in table not caught")
+	}
+	coder := mdl.NewCoder(d)
+	want := tab.Rules[0].Len(coder) + tab.Rules[1].Len(coder)
+	tab.Rules = tab.Rules[:2]
+	if got := tab.Len(coder); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Table.Len = %v, want %v", got, want)
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tab := &Table{Rules: []Rule{{X: itemset.New(0), Dir: Both, Y: itemset.New(1)}}}
+	c := tab.Clone()
+	c.Rules[0].X[0] = 42
+	if tab.Rules[0].X[0] != 0 {
+		t.Fatal("Clone shares itemset storage")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mdl"
+)
+
+// This file implements TRANSLATOR-SELECT(k) (Algorithm 3): in each round,
+// score every rule constructible from the candidate set (three directions
+// per candidate itemset), take the k rules with the highest gain, and add
+// them one by one, discarding rules whose itemsets overlap the items used
+// by a rule already added in the same round. Rounds repeat until no rule
+// improves compression.
+
+// SelectOptions configures MineSelect.
+type SelectOptions struct {
+	// K is the number of rules selected per round; the paper evaluates
+	// k=1 and k=25. Values < 1 mean 1.
+	K int
+	// MaxRules stops after this many rules in total; 0 means no limit.
+	MaxRules int
+	// Trace observes each added rule.
+	Trace TraceFunc
+	// Workers sets the number of goroutines scoring candidates per
+	// round; 0 means GOMAXPROCS, 1 disables parallelism. Results are
+	// identical regardless of the value (scoring is read-only and the
+	// merged ranking uses a total order).
+	Workers int
+}
+
+type scoredRule struct {
+	rule Rule
+	gain float64
+	cand int // candidate index, for cached tidsets
+}
+
+// MineSelect runs TRANSLATOR-SELECT(k) over the given candidates.
+func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Result {
+	start := time.Now()
+	if opt.K < 1 {
+		opt.K = 1
+	}
+	coder := mdl.NewCoder(d)
+	s := NewState(d, coder)
+	res := &Result{State: s}
+
+	scored := make([]scoredRule, 0, 3*len(cands))
+	for {
+		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
+			break
+		}
+		// Line 3: select the k rules with the highest Δ_{D,T} among all
+		// rules constructible from the candidates.
+		scored = scoreCandidates(s, cands, scored[:0], opt.Workers)
+		if len(scored) == 0 {
+			break
+		}
+		sort.Slice(scored, func(a, b int) bool {
+			if scored[a].gain != scored[b].gain {
+				return scored[a].gain > scored[b].gain
+			}
+			return scored[a].rule.Compare(scored[b].rule) < 0
+		})
+		if len(scored) > opt.K {
+			scored = scored[:opt.K]
+		}
+
+		// Lines 5-10: add the selected rules, skipping rules whose
+		// itemsets overlap items already used in this round (their gain
+		// has changed and they may no longer belong to the top-k).
+		var usedL, usedR itemset.Itemset
+		added := false
+		for _, sr := range scored {
+			if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
+				break
+			}
+			if sr.rule.X.Intersects(usedL) || sr.rule.Y.Intersects(usedR) {
+				continue
+			}
+			// Line 8: re-check that the rule still improves compression
+			// against the *current* table.
+			c := &cands[sr.cand]
+			gain := s.GainWithTids(sr.rule, c.TidX, c.TidY)
+			if gain <= gainEpsilon {
+				continue
+			}
+			s.AddRule(sr.rule)
+			res.record(s, sr.rule, gain, opt.Trace)
+			usedL = usedL.Union(sr.rule.X)
+			usedR = usedR.Union(sr.rule.Y)
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+	res.Table = s.Table()
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// scoreCandidates computes the positive-gain rules of every candidate,
+// appending to dst. Scoring only reads the state, so candidates are
+// partitioned across workers; the caller's subsequent sort imposes a
+// total order, making the result independent of the partitioning.
+func scoreCandidates(s *State, cands []Candidate, dst []scoredRule, workers int) []scoredRule {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		return scoreRange(s, cands, 0, len(cands), dst)
+	}
+	parts := make([][]scoredRule, workers)
+	var wg sync.WaitGroup
+	chunk := (len(cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = scoreRange(s, cands, lo, hi, nil)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// scoreRange scores candidates [lo, hi), appending positive-gain rules.
+func scoreRange(s *State, cands []Candidate, lo, hi int, dst []scoredRule) []scoredRule {
+	coder := s.coder
+	for ci := lo; ci < hi; ci++ {
+		c := &cands[ci]
+		// qub bounds all three directions; a candidate that cannot
+		// reach positive gain is skipped without exact evaluation.
+		if s.Qub(c.X, c.Y, c.TidX.Count(), c.TidY.Count()) <= gainEpsilon {
+			continue
+		}
+		gainF := s.gainDir(dataset.Left, c.TidX, c.Y)
+		gainB := s.gainDir(dataset.Right, c.TidY, c.X)
+		lenUni := coder.RuleLen(c.X, c.Y, false)
+		lenBi := coder.RuleLen(c.X, c.Y, true)
+		for _, sr := range [3]scoredRule{
+			{Rule{X: c.X, Dir: Forward, Y: c.Y}, gainF - lenUni, ci},
+			{Rule{X: c.X, Dir: Backward, Y: c.Y}, gainB - lenUni, ci},
+			{Rule{X: c.X, Dir: Both, Y: c.Y}, gainF + gainB - lenBi, ci},
+		} {
+			if sr.gain > gainEpsilon {
+				dst = append(dst, sr)
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mdl"
+)
+
+// State maintains, incrementally, everything needed to score a growing
+// translation table: per transaction and per target view the uncovered
+// items U (in the data but not yet translated) and the errors E
+// (translated but not in the data), the encoded correction lengths, the
+// table length, and the transaction-based upper bounds tub (§5.1–5.2).
+//
+// Invariants (checked in tests):
+//   - U_t ⊆ t and E_t ∩ t = ∅ for the target view's row t;
+//   - t′ = (t \ U_t) ∪ E_t matches TranslateRow for the current table;
+//   - E only grows as rules are added (errors are never removed);
+//   - corrLen[v] = Σ_t BitsLen(U_t) + BitsLen(E_t).
+type State struct {
+	d     *dataset.Dataset
+	coder *mdl.Coder
+	table Table
+
+	// Arrays indexed by the *target* view of a translation:
+	// target Right ⇔ translation D_L→R, target Left ⇔ D_L←R.
+	u       [2][]*bitset.Set
+	e       [2][]*bitset.Set
+	uOnes   [2]int
+	eOnes   [2]int
+	corrLen [2]float64
+	tub     [2][]float64 // tub(t) = L(U_t | D_target) per transaction
+}
+
+// NewState returns the state of the empty translation table: everything is
+// uncovered, nothing is in error, and the score is the baseline L(D,∅).
+func NewState(d *dataset.Dataset, coder *mdl.Coder) *State {
+	s := &State{d: d, coder: coder}
+	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+		n := d.Size()
+		s.u[v] = make([]*bitset.Set, n)
+		s.e[v] = make([]*bitset.Set, n)
+		s.tub[v] = make([]float64, n)
+		for t := 0; t < n; t++ {
+			row := d.Row(v, t)
+			s.u[v][t] = row.Clone()
+			s.e[v][t] = bitset.New(d.Items(v))
+			s.uOnes[v] += row.Count()
+			s.tub[v][t] = coder.BitsLen(v, row)
+			s.corrLen[v] += s.tub[v][t]
+		}
+	}
+	return s
+}
+
+// Dataset returns the underlying dataset.
+func (s *State) Dataset() *dataset.Dataset { return s.d }
+
+// Coder returns the coder used for all lengths.
+func (s *State) Coder() *mdl.Coder { return s.coder }
+
+// Table returns the current translation table. Callers must not modify it.
+func (s *State) Table() *Table { return &s.table }
+
+// Uncovered returns U_t for the given target view. Read-only.
+func (s *State) Uncovered(target dataset.View, t int) *bitset.Set { return s.u[target][t] }
+
+// Errors returns E_t for the given target view. Read-only.
+func (s *State) Errors(target dataset.View, t int) *bitset.Set { return s.e[target][t] }
+
+// UncoveredOnes returns |U| for the target view (Fig. 2, top).
+func (s *State) UncoveredOnes(target dataset.View) int { return s.uOnes[target] }
+
+// ErrorOnes returns |E| for the target view (Fig. 2, top).
+func (s *State) ErrorOnes(target dataset.View) int { return s.eOnes[target] }
+
+// CorrectionOnes returns |C| = |U|+|E| summed over both views, the
+// numerator of the |C|% metric of Table 3.
+func (s *State) CorrectionOnes() int {
+	return s.uOnes[0] + s.uOnes[1] + s.eOnes[0] + s.eOnes[1]
+}
+
+// CorrLen returns L(C_target | T) in bits.
+func (s *State) CorrLen(target dataset.View) float64 { return s.corrLen[target] }
+
+// TableLen returns L(T) in bits.
+func (s *State) TableLen() float64 { return s.table.Len(s.coder) }
+
+// Score returns the total encoded size L(D_L↔R, T) = L(T) + L(C_L|T) +
+// L(C_R|T) minimized in Problem 1.
+func (s *State) Score() float64 {
+	return s.TableLen() + s.corrLen[dataset.Left] + s.corrLen[dataset.Right]
+}
+
+// Baseline returns L(D,∅), the score of the empty table.
+func (s *State) Baseline() float64 { return s.coder.BaselineLen(s.d) }
+
+// Tub returns the transaction-based upper bound tub(t) = L(U_t|D_target)
+// for the given target view (§5.2). It is kept up to date by AddRule.
+func (s *State) Tub(target dataset.View, t int) float64 { return s.tub[target][t] }
+
+// SumTub returns Σ_{t ∈ tids} tub(t) for the target view.
+func (s *State) SumTub(target dataset.View, tids *bitset.Set) float64 {
+	total := 0.0
+	tub := s.tub[target]
+	tids.ForEach(func(t int) bool {
+		total += tub[t]
+		return true
+	})
+	return total
+}
+
+// gainDir computes Δ_{D|T} for one direction of a rule (Equation 2): the
+// antecedent's support tidset in view `from` and the consequent itemset in
+// the opposite view. It does not subtract the rule length.
+func (s *State) gainDir(from dataset.View, tids *bitset.Set, cons itemset.Itemset) float64 {
+	target := from.Opposite()
+	lens := make([]float64, len(cons))
+	for i, y := range cons {
+		lens[i] = s.coder.ItemLen(target, y)
+	}
+	u, e := s.u[target], s.e[target]
+	gain := 0.0
+	tids.ForEach(func(t int) bool {
+		row := s.d.Row(target, t)
+		for i, y := range cons {
+			switch {
+			case u[t].Contains(y):
+				gain += lens[i] // item becomes covered: L(Y ∩ U_t)
+			case !row.Contains(y) && !e[t].Contains(y):
+				gain -= lens[i] // new error: L(Y \ (t_R ∪ E_t))
+			}
+		}
+		return true
+	})
+	return gain
+}
+
+// Gain returns Δ_{D,T}(r) = Δ_{D|T}(r) − L(r) (Equation 1): the decrease in
+// total compressed size obtained by adding r to the current table.
+func (s *State) Gain(r Rule) float64 {
+	return s.GainWithTids(r, nil, nil)
+}
+
+// GainWithTids is Gain with optional precomputed support tidsets for X (in
+// the left view) and Y (in the right view); nil tidsets are computed on
+// the fly. Passing cached tidsets avoids recomputation in the search
+// algorithms' inner loops.
+func (s *State) GainWithTids(r Rule, tidX, tidY *bitset.Set) float64 {
+	gain := 0.0
+	if r.AppliesTo(dataset.Left) {
+		if tidX == nil {
+			tidX = s.d.SupportSet(dataset.Left, r.X)
+		}
+		gain += s.gainDir(dataset.Left, tidX, r.Y)
+	}
+	if r.AppliesTo(dataset.Right) {
+		if tidY == nil {
+			tidY = s.d.SupportSet(dataset.Right, r.Y)
+		}
+		gain += s.gainDir(dataset.Right, tidY, r.X)
+	}
+	return gain - r.Len(s.coder)
+}
+
+// Qub returns the quick upper bound qub(X ◇ Y) of §5.2, valid for all
+// three directions of the rule: |supp(X)|·L(Y|D_R) + |supp(Y)|·L(X|D_L) −
+// L(X↔Y). It cannot be used for subtree pruning but safely skips exact
+// gain computations.
+func (s *State) Qub(x, y itemset.Itemset, suppX, suppY int) float64 {
+	return float64(suppX)*s.coder.SetLen(dataset.Right, y) +
+		float64(suppY)*s.coder.SetLen(dataset.Left, x) -
+		s.coder.RuleLen(x, y, true)
+}
+
+// Rub returns the rule-based upper bound rub(X ◇ Y) of §5.2: it bounds the
+// gain of the rule and of every extension of it, so subtrees with
+// rub ≤ best gain can be pruned.
+func (s *State) Rub(x, y itemset.Itemset, tidX, tidY *bitset.Set) float64 {
+	return s.SumTub(dataset.Right, tidX) + s.SumTub(dataset.Left, tidY) -
+		s.coder.RuleLen(x, y, true)
+}
+
+// applyDir updates U, E, tub and corrLen for one direction of a rule.
+func (s *State) applyDir(from dataset.View, tids *bitset.Set, cons itemset.Itemset) {
+	target := from.Opposite()
+	lens := make([]float64, len(cons))
+	for i, y := range cons {
+		lens[i] = s.coder.ItemLen(target, y)
+	}
+	u, e := s.u[target], s.e[target]
+	tids.ForEach(func(t int) bool {
+		row := s.d.Row(target, t)
+		for i, y := range cons {
+			switch {
+			case u[t].Contains(y):
+				u[t].Remove(y)
+				s.uOnes[target]--
+				s.corrLen[target] -= lens[i]
+				s.tub[target][t] -= lens[i]
+			case !row.Contains(y) && !e[t].Contains(y):
+				e[t].Add(y)
+				s.eOnes[target]++
+				s.corrLen[target] += lens[i]
+			}
+		}
+		return true
+	})
+}
+
+// AddRule appends r to the table and updates all incremental structures.
+// The change in Score equals -Gain(r) computed immediately before the call.
+func (s *State) AddRule(r Rule) {
+	if r.AppliesTo(dataset.Left) {
+		s.applyDir(dataset.Left, s.d.SupportSet(dataset.Left, r.X), r.Y)
+	}
+	if r.AppliesTo(dataset.Right) {
+		s.applyDir(dataset.Right, s.d.SupportSet(dataset.Right, r.Y), r.X)
+	}
+	s.table.Rules = append(s.table.Rules, r)
+	s.checkFinite()
+}
+
+// EvaluateTable scores an arbitrary translation table against a dataset by
+// replaying its rules through a fresh state. Because translation is
+// order-independent, the resulting state is canonical for the table. This
+// is how baseline rule sets (MAGNUM OPUS, REREMI, KRIMP) are compared
+// under the paper's encoding in Table 3.
+func EvaluateTable(d *dataset.Dataset, coder *mdl.Coder, t *Table) *State {
+	s := NewState(d, coder)
+	for _, r := range t.Rules {
+		s.AddRule(r)
+	}
+	return s
+}
+
+// CompressionRatio returns L% = L(D,T) / L(D,∅) as a percentage. An empty
+// dataset has ratio 100 (nothing to compress). Ratios above 100 mean the
+// table inflates the translation.
+func (s *State) CompressionRatio() float64 {
+	base := s.Baseline()
+	if base == 0 {
+		return 100
+	}
+	return 100 * s.Score() / base
+}
+
+// CorrectionRatio returns |C|% = |C| / ((|I_L|+|I_R|)·|D|) as a percentage
+// (Table 3).
+func (s *State) CorrectionRatio() float64 {
+	cells := (s.d.Items(dataset.Left) + s.d.Items(dataset.Right)) * s.d.Size()
+	if cells == 0 {
+		return 0
+	}
+	return 100 * float64(s.CorrectionOnes()) / float64(cells)
+}
+
+// checkFinite panics if the score became NaN/Inf, which would indicate a
+// rule or correction referencing a zero-support item.
+func (s *State) checkFinite() {
+	if sc := s.Score(); math.IsNaN(sc) || math.IsInf(sc, 0) {
+		panic("core: non-finite score; rule or correction uses a zero-support item")
+	}
+}

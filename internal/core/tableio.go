@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"twoview/internal/dataset"
+)
+
+// This file implements persistence for translation tables, so that a
+// table mined once can be stored, inspected, diffed and later applied to
+// new data. The format is line-oriented and uses item *names* (not ids),
+// making files robust against vocabulary reordering:
+//
+//	# comments and blank lines ignored
+//	name1, name2 -> name3          (one rule per line)
+//	name4 <-> name5, name6
+//
+// Directions are "->", "<-" and "<->". Item names containing commas are
+// not supported by the format (the dataset package never produces them
+// from its own preprocessing).
+
+// WriteTable serializes t against d's vocabularies.
+func WriteTable(w io.Writer, d *dataset.Dataset, t *Table) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# twoview translation table: %d rules\n", t.Size())
+	for _, r := range t.Rules {
+		if err := r.Validate(d); err != nil {
+			return fmt.Errorf("core: cannot serialize: %w", err)
+		}
+		fmt.Fprintf(bw, "%s %s %s\n",
+			joinNames(r.X, d.Names(dataset.Left)),
+			r.Dir,
+			joinNames(r.Y, d.Names(dataset.Right)))
+	}
+	return bw.Flush()
+}
+
+func joinNames(s []int, names []string) string {
+	parts := make([]string, len(s))
+	for i, id := range s {
+		parts[i] = names[id]
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ReadTable parses a translation table, resolving item names against d's
+// vocabularies.
+func ReadTable(r io.Reader, d *dataset.Dataset) (*Table, error) {
+	idxL := nameIndex(d.Names(dataset.Left))
+	idxR := nameIndex(d.Names(dataset.Right))
+	t := &Table{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rule, err := parseRuleLine(text, idxL, idxR)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		}
+		if err := rule.Validate(d); err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		}
+		t.Rules = append(t.Rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func nameIndex(names []string) map[string]int {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return idx
+}
+
+func parseRuleLine(text string, idxL, idxR map[string]int) (Rule, error) {
+	var dir Direction
+	var sep string
+	switch {
+	case strings.Contains(text, "<->"):
+		dir, sep = Both, "<->"
+	case strings.Contains(text, "->"):
+		dir, sep = Forward, "->"
+	case strings.Contains(text, "<-"):
+		dir, sep = Backward, "<-"
+	default:
+		return Rule{}, fmt.Errorf("no direction in rule %q", text)
+	}
+	parts := strings.SplitN(text, sep, 2)
+	x, err := parseNames(parts[0], idxL, "left")
+	if err != nil {
+		return Rule{}, err
+	}
+	y, err := parseNames(parts[1], idxR, "right")
+	if err != nil {
+		return Rule{}, err
+	}
+	return Rule{X: x, Dir: dir, Y: y}, nil
+}
+
+func parseNames(s string, idx map[string]int, side string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		id, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown %s item %q", side, name)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty %s side", side)
+	}
+	// Canonicalize: names may be listed in any order.
+	sortInts(out)
+	return out, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// WriteTableFile writes the table to a file.
+func WriteTableFile(path string, d *dataset.Dataset, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTable(f, d, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTableFile reads a table from a file.
+func ReadTableFile(path string, d *dataset.Dataset) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTable(f, d)
+}
+
+// ApplyReport summarizes applying a stored table to a dataset: the
+// translated view, the corrections needed, and the reconstruction check.
+type ApplyReport struct {
+	From dataset.View
+	// TranslatedOnes is the number of items produced by the rules.
+	TranslatedOnes int
+	// Uncovered and Errors are |U| and |E| against the actual target view.
+	Uncovered int
+	Errors    int
+	// Cells is |D| · |I_target|, for turning counts into rates.
+	Cells int
+}
+
+// Apply translates view `from` of d with t and reports the correction
+// statistics; Reconstruct-style losslessness is implied by construction
+// (tests assert it).
+func Apply(d *dataset.Dataset, t *Table, from dataset.View) ApplyReport {
+	target := from.Opposite()
+	trans := Translate(d, t, from)
+	u, e := CorrectionTables(d, t, from)
+	rep := ApplyReport{From: from, Cells: d.Size() * d.Items(target)}
+	for i := range trans {
+		rep.TranslatedOnes += trans[i].Count()
+		rep.Uncovered += u[i].Count()
+		rep.Errors += e[i].Count()
+	}
+	return rep
+}

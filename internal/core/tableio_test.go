@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+func TestTableWriteReadRoundTrip(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)},
+		{X: itemset.New(2), Dir: Forward, Y: itemset.New(4)},
+		{X: itemset.New(3), Dir: Backward, Y: itemset.New(3)},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, d, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != tab.Size() {
+		t.Fatalf("round trip lost rules: %d != %d", got.Size(), tab.Size())
+	}
+	for i := range tab.Rules {
+		if got.Rules[i].Compare(tab.Rules[i]) != 0 {
+			t.Fatalf("rule %d: %v != %v", i, got.Rules[i], tab.Rules[i])
+		}
+	}
+}
+
+func TestTableFileRoundTrip(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0), Dir: Both, Y: itemset.New(0)},
+	}}
+	path := filepath.Join(t.TempDir(), "rules.tt")
+	if err := WriteTableFile(path, d, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTableFile(path, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 1 || got.Rules[0].Compare(tab.Rules[0]) != 0 {
+		t.Fatal("file round trip wrong")
+	}
+}
+
+func TestReadTableSyntax(t *testing.T) {
+	d := fig1(t)
+	in := `
+# comment
+A, B <-> L, U
+C -> S
+D <- Q
+`
+	tab, err := ReadTable(strings.NewReader(in), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Size() != 3 {
+		t.Fatalf("parsed %d rules", tab.Size())
+	}
+	if tab.Rules[0].Dir != Both || tab.Rules[1].Dir != Forward || tab.Rules[2].Dir != Backward {
+		t.Fatal("directions wrong")
+	}
+	if !tab.Rules[0].X.Equal(itemset.New(0, 1)) || !tab.Rules[0].Y.Equal(itemset.New(1, 5)) {
+		t.Fatalf("rule 0 itemsets wrong: %v", tab.Rules[0])
+	}
+	// Names out of order canonicalize.
+	tab, err = ReadTable(strings.NewReader("B, A -> U, L\n"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Rules[0].X.IsCanonical() || !tab.Rules[0].Y.IsCanonical() {
+		t.Fatal("itemsets not canonicalized")
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	d := fig1(t)
+	for name, in := range map[string]string{
+		"no direction":  "A, B\n",
+		"unknown left":  "Z -> S\n",
+		"unknown right": "A -> Z\n",
+		"empty left":    " -> S\n",
+		"empty right":   "A -> \n",
+	} {
+		if _, err := ReadTable(strings.NewReader(in), d); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+}
+
+func TestWriteTableValidates(t *testing.T) {
+	d := fig1(t)
+	bad := &Table{Rules: []Rule{{X: itemset.New(99), Dir: Forward, Y: itemset.New(0)}}}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, d, bad); err == nil {
+		t.Fatal("invalid rule serialized")
+	}
+}
+
+func TestQuickTableRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, tab := randomDataAndTable(r)
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, d, tab); err != nil {
+			return false
+		}
+		got, err := ReadTable(&buf, d)
+		if err != nil || got.Size() != tab.Size() {
+			return false
+		}
+		for i := range tab.Rules {
+			if got.Rules[i].Compare(tab.Rules[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyReport(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)},
+	}}
+	rep := Apply(d, tab, dataset.Left)
+	if rep.From != dataset.Left {
+		t.Fatal("From wrong")
+	}
+	if rep.Cells != d.Size()*d.Items(dataset.Right) {
+		t.Fatal("Cells wrong")
+	}
+	// {A,B} occurs in rows 0, 3, 4 → 3 applications × 2 items.
+	if rep.TranslatedOnes != 6 {
+		t.Fatalf("TranslatedOnes = %d, want 6", rep.TranslatedOnes)
+	}
+	// Consistency with the state implementation.
+	s := newStateFor(t, d)
+	s.AddRule(tab.Rules[0])
+	if rep.Uncovered != s.UncoveredOnes(dataset.Right) || rep.Errors != s.ErrorOnes(dataset.Right) {
+		t.Fatalf("Apply (%d,%d) disagrees with state (%d,%d)",
+			rep.Uncovered, rep.Errors,
+			s.UncoveredOnes(dataset.Right), s.ErrorOnes(dataset.Right))
+	}
+}

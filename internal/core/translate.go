@@ -1,0 +1,78 @@
+package core
+
+import (
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+)
+
+// This file implements the TRANSLATE scheme (Algorithm 1) and lossless
+// reconstruction via correction tables (§3). These are the reference
+// (non-incremental) implementations; State maintains the same quantities
+// incrementally and is cross-checked against these in tests.
+
+// TranslateRow applies Algorithm 1 to a single transaction: it returns t′,
+// the union of the consequents of all rules firing from view `from` whose
+// antecedent occurs in row. The result is a bitset over the opposite
+// view's vocabulary.
+func TranslateRow(d *dataset.Dataset, t *Table, from dataset.View, row *bitset.Set) *bitset.Set {
+	out := bitset.New(d.Items(from.Opposite()))
+	for _, r := range t.Rules {
+		if !r.AppliesTo(from) {
+			continue
+		}
+		if row.ContainsAll(r.Antecedent(from)) {
+			for _, i := range r.Consequent(from) {
+				out.Add(i)
+			}
+		}
+	}
+	return out
+}
+
+// Translate translates every transaction of view `from` into the opposite
+// view, returning one bitset per transaction.
+func Translate(d *dataset.Dataset, t *Table, from dataset.View) []*bitset.Set {
+	out := make([]*bitset.Set, d.Size())
+	for i := 0; i < d.Size(); i++ {
+		out[i] = TranslateRow(d, t, from, d.Row(from, i))
+	}
+	return out
+}
+
+// CorrectionTables returns, for the translation from view `from`, the
+// correction table C (c_t = t ⊕ t′ for the target view) split into its two
+// parts: U (uncovered: items of the data missing from the translation) and
+// E (errors: items introduced by the translation that are not in the
+// data). C = U ∪ E with U ∩ E = ∅ (§5.1).
+func CorrectionTables(d *dataset.Dataset, t *Table, from dataset.View) (u, e []*bitset.Set) {
+	to := from.Opposite()
+	trans := Translate(d, t, from)
+	u = make([]*bitset.Set, d.Size())
+	e = make([]*bitset.Set, d.Size())
+	for i := 0; i < d.Size(); i++ {
+		row := d.Row(to, i)
+		ut := row.Clone()
+		ut.AndNot(trans[i]) // t \ t′
+		et := trans[i].Clone()
+		et.AndNot(row) // t′ \ t
+		u[i], e[i] = ut, et
+	}
+	return u, e
+}
+
+// Reconstruct performs the lossless reconstruction of the target view:
+// t = t′ ⊕ c. It returns the reconstructed rows, which tests verify to be
+// exactly the original view.
+func Reconstruct(d *dataset.Dataset, t *Table, from dataset.View) []*bitset.Set {
+	trans := Translate(d, t, from)
+	u, e := CorrectionTables(d, t, from)
+	out := make([]*bitset.Set, d.Size())
+	for i := range trans {
+		c := u[i].Clone()
+		c.Or(e[i]) // C = U ∪ E (disjoint)
+		rec := trans[i].Clone()
+		rec.Xor(c)
+		out[i] = rec
+	}
+	return out
+}

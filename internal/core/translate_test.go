@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+func TestTranslateRowAlgorithm1(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)}, // {A,B} <-> {L,U}
+		{X: itemset.New(2), Dir: Forward, Y: itemset.New(4)},    // {C} -> {S}
+		{X: itemset.New(3), Dir: Backward, Y: itemset.New(3)},   // {D} <- {Q}
+	}}
+	// Transaction 0 = A B | L U: both <-> and -> rules checked L→R.
+	got := TranslateRow(d, tab, dataset.Left, d.Row(dataset.Left, 0))
+	if !got.ContainsAll([]int{1, 5}) || got.Count() != 2 {
+		t.Fatalf("t0 L→R = %v", got)
+	}
+	// Backward rule must not fire L→R.
+	got = TranslateRow(d, tab, dataset.Left, d.Row(dataset.Left, 3)) // A B D
+	if !got.ContainsAll([]int{1, 5}) || got.Count() != 2 {
+		t.Fatalf("t3 L→R = %v (backward rule must not fire)", got)
+	}
+	// R→L: transaction 3 = L Q U: <-> fires (L,U ⊆ tR), <- fires (Q ⊆ tR).
+	got = TranslateRow(d, tab, dataset.Right, d.Row(dataset.Right, 3))
+	if !got.ContainsAll([]int{0, 1, 3}) || got.Count() != 3 {
+		t.Fatalf("t3 R→L = %v", got)
+	}
+	// Rule order must not matter.
+	rev := &Table{Rules: []Rule{tab.Rules[2], tab.Rules[1], tab.Rules[0]}}
+	for i := 0; i < d.Size(); i++ {
+		a := TranslateRow(d, tab, dataset.Left, d.Row(dataset.Left, i))
+		b := TranslateRow(d, rev, dataset.Left, d.Row(dataset.Left, i))
+		if !a.Equal(b) {
+			t.Fatalf("translation depends on rule order at t%d", i)
+		}
+	}
+}
+
+func TestCorrectionTablesDisjointAndComplete(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)},
+	}}
+	u, e := CorrectionTables(d, tab, dataset.Left)
+	trans := Translate(d, tab, dataset.Left)
+	for i := 0; i < d.Size(); i++ {
+		if u[i].Intersects(e[i]) {
+			t.Fatalf("U and E overlap at t%d", i)
+		}
+		row := d.Row(dataset.Right, i)
+		if !u[i].SubsetOf(row) {
+			t.Fatalf("U ⊄ row at t%d", i)
+		}
+		if e[i].Intersects(row) {
+			t.Fatalf("E intersects row at t%d", i)
+		}
+		// C = t ⊕ t′.
+		c := row.Clone()
+		c.Xor(trans[i])
+		both := u[i].Clone()
+		both.Or(e[i])
+		if !c.Equal(both) {
+			t.Fatalf("C != U ∪ E at t%d", i)
+		}
+	}
+}
+
+func TestReconstructLossless(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)},
+		{X: itemset.New(2), Dir: Forward, Y: itemset.New(4)},
+		{X: itemset.New(3), Dir: Backward, Y: itemset.New(3)},
+	}}
+	for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+		rec := Reconstruct(d, tab, from)
+		for i := 0; i < d.Size(); i++ {
+			if !rec[i].Equal(d.Row(from.Opposite(), i)) {
+				t.Fatalf("reconstruction from %v differs at t%d", from, i)
+			}
+		}
+	}
+}
+
+// randomDataAndTable builds a random dataset and a random valid table.
+// Every item is made to occur at least once so that all code lengths are
+// finite (rules over zero-support items are rejected by the state).
+func randomDataAndTable(r *rand.Rand) (*dataset.Dataset, *Table) {
+	nL, nR := 2+r.Intn(5), 2+r.Intn(5)
+	d := dataset.MustNew(dataset.GenericNames("l", nL), dataset.GenericNames("r", nR))
+	allL := make([]int, nL)
+	for i := range allL {
+		allL[i] = i
+	}
+	allR := make([]int, nR)
+	for i := range allR {
+		allR[i] = i
+	}
+	d.AddRow(allL, allR)
+	n := 1 + r.Intn(30)
+	for i := 0; i < n; i++ {
+		var left, right []int
+		for j := 0; j < nL; j++ {
+			if r.Intn(3) == 0 {
+				left = append(left, j)
+			}
+		}
+		for j := 0; j < nR; j++ {
+			if r.Intn(3) == 0 {
+				right = append(right, j)
+			}
+		}
+		d.AddRow(left, right)
+	}
+	tab := &Table{}
+	for k := 0; k < r.Intn(6); k++ {
+		x := itemset.New(r.Intn(nL))
+		if r.Intn(2) == 0 {
+			x = x.Union(itemset.New(r.Intn(nL)))
+		}
+		y := itemset.New(r.Intn(nR))
+		if r.Intn(2) == 0 {
+			y = y.Union(itemset.New(r.Intn(nR)))
+		}
+		tab.Rules = append(tab.Rules, Rule{X: x, Dir: Direction(r.Intn(3)), Y: y})
+	}
+	return d, tab
+}
+
+// The central model property: translation + correction is lossless for any
+// dataset and any valid translation table, in both directions (§3).
+func TestQuickLosslessTranslation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, tab := randomDataAndTable(r)
+		for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+			rec := Reconstruct(d, tab, from)
+			for i := 0; i < d.Size(); i++ {
+				if !rec[i].Equal(d.Row(from.Opposite(), i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rule-order invariance of translation (§3) for random tables.
+func TestQuickOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, tab := randomDataAndTable(r)
+		perm := &Table{Rules: append([]Rule(nil), tab.Rules...)}
+		r.Shuffle(len(perm.Rules), func(i, j int) {
+			perm.Rules[i], perm.Rules[j] = perm.Rules[j], perm.Rules[i]
+		})
+		for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+			a := Translate(d, tab, from)
+			b := Translate(d, perm, from)
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the preprocessing the paper applies to the UCI and
+// MULAN repository datasets (§6, "Data pre-processing"): numerical
+// attributes are discretized using equal-height (equal-frequency) bins and
+// each categorical attribute-value is converted into an item.
+
+// ColumnKind distinguishes attribute types in a raw attribute-value table.
+type ColumnKind int
+
+const (
+	// Numeric columns are discretized into equal-height bins.
+	Numeric ColumnKind = iota
+	// Categorical columns get one Boolean item per distinct value.
+	Categorical
+)
+
+// Column is one attribute of a raw table. For Numeric columns Values holds
+// the parsed numbers and Missing marks unparseable entries; for Categorical
+// columns Labels holds the raw strings (empty string = missing).
+type Column struct {
+	Name    string
+	Kind    ColumnKind
+	Values  []float64 // Numeric only, len = number of rows
+	Missing []bool    // Numeric only, optional
+	Labels  []string  // Categorical only, len = number of rows
+}
+
+// rows returns the number of rows in the column.
+func (c *Column) rows() int {
+	if c.Kind == Numeric {
+		return len(c.Values)
+	}
+	return len(c.Labels)
+}
+
+// EqualHeightThresholds returns the k-1 cut points of an equal-height
+// (equal-frequency) binning of values into k bins. Duplicate cut points are
+// merged, so fewer than k bins may result for heavily tied data.
+func EqualHeightThresholds(values []float64, k int) []float64 {
+	if k < 2 || len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var cuts []float64
+	for b := 1; b < k; b++ {
+		idx := b * len(sorted) / k
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		cut := sorted[idx]
+		if len(cuts) == 0 || cut > cuts[len(cuts)-1] {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}
+
+// binOf returns the bin index of v for the given ascending cut points:
+// bin i covers [cuts[i-1], cuts[i]) with the first bin open below and the
+// last bin open above.
+func binOf(v float64, cuts []float64) int {
+	for i, c := range cuts {
+		if v < c {
+			return i
+		}
+	}
+	return len(cuts)
+}
+
+// BooleanizeOptions controls Booleanize.
+type BooleanizeOptions struct {
+	// Bins is the number of equal-height bins per numeric attribute.
+	// The paper uses 5. Zero means 5.
+	Bins int
+	// MaxFrequency drops items occurring in more than this fraction of
+	// rows (the paper drops items in more than half of the transactions
+	// for Elections). Zero disables dropping.
+	MaxFrequency float64
+}
+
+// BoolTable is a Booleanized attribute-value table: one item per
+// (attribute, bin-or-value), ready to be split into two views.
+type BoolTable struct {
+	ItemNames []string
+	Rows      [][]int // per row, sorted item ids
+}
+
+// Booleanize converts raw columns into a Boolean table following the
+// paper's preprocessing: equal-height bins for numeric attributes and one
+// item per categorical attribute-value. Missing entries produce no item.
+func Booleanize(cols []*Column, opt BooleanizeOptions) (*BoolTable, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("dataset: no columns to booleanize")
+	}
+	bins := opt.Bins
+	if bins == 0 {
+		bins = 5
+	}
+	nRows := cols[0].rows()
+	for _, c := range cols {
+		if c.rows() != nRows {
+			return nil, fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, c.rows(), nRows)
+		}
+	}
+
+	var names []string
+	rowItems := make([][]int, nRows)
+	addItem := func(name string, rows []int) {
+		if opt.MaxFrequency > 0 && float64(len(rows)) > opt.MaxFrequency*float64(nRows) {
+			return
+		}
+		id := len(names)
+		names = append(names, name)
+		for _, r := range rows {
+			rowItems[r] = append(rowItems[r], id)
+		}
+	}
+
+	for _, c := range cols {
+		switch c.Kind {
+		case Numeric:
+			var present []float64
+			for r, v := range c.Values {
+				if (c.Missing == nil || !c.Missing[r]) && !math.IsNaN(v) {
+					present = append(present, v)
+				}
+			}
+			cuts := EqualHeightThresholds(present, bins)
+			byBin := make([][]int, len(cuts)+1)
+			for r, v := range c.Values {
+				if (c.Missing != nil && c.Missing[r]) || math.IsNaN(v) {
+					continue
+				}
+				b := binOf(v, cuts)
+				byBin[b] = append(byBin[b], r)
+			}
+			for b, rows := range byBin {
+				if len(rows) == 0 {
+					continue
+				}
+				addItem(fmt.Sprintf("%s=bin%d/%d", c.Name, b+1, len(byBin)), rows)
+			}
+		case Categorical:
+			byVal := map[string][]int{}
+			var order []string
+			for r, lab := range c.Labels {
+				if lab == "" {
+					continue
+				}
+				if _, ok := byVal[lab]; !ok {
+					order = append(order, lab)
+				}
+				byVal[lab] = append(byVal[lab], r)
+			}
+			sort.Strings(order)
+			for _, lab := range order {
+				addItem(fmt.Sprintf("%s=%s", c.Name, lab), byVal[lab])
+			}
+		default:
+			return nil, fmt.Errorf("dataset: column %q has unknown kind %d", c.Name, c.Kind)
+		}
+	}
+	for r := range rowItems {
+		sort.Ints(rowItems[r])
+	}
+	return &BoolTable{ItemNames: names, Rows: rowItems}, nil
+}

@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format, one dataset per file:
+//
+//	# comment lines and blank lines are ignored
+//	L <tab-separated item names of the left view>
+//	R <tab-separated item names of the right view>
+//	<left item ids separated by spaces> | <right item ids>
+//	...
+//
+// Exactly one L line and one R line must precede the first row. Either side
+// of a row may be empty. Item names must not contain tabs or newlines.
+
+// Write serializes d in the text format.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# twoview dataset: %d transactions, %d+%d items\n",
+		d.Size(), d.Items(Left), d.Items(Right))
+	writeHeader(bw, "L", d.Names(Left))
+	writeHeader(bw, "R", d.Names(Right))
+	for t := 0; t < d.Size(); t++ {
+		writeIDs(bw, d.Row(Left, t).Indices())
+		bw.WriteString(" | ")
+		writeIDs(bw, d.Row(Right, t).Indices())
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// writeHeader emits "L" alone for an empty vocabulary so that the reader
+// does not mistake a trailing tab for one empty item name.
+func writeHeader(bw *bufio.Writer, side string, names []string) {
+	if len(names) == 0 {
+		fmt.Fprintf(bw, "%s\n", side)
+		return
+	}
+	fmt.Fprintf(bw, "%s\t%s\n", side, strings.Join(names, "\t"))
+}
+
+func writeIDs(bw *bufio.Writer, ids []int) {
+	for i, id := range ids {
+		if i > 0 {
+			bw.WriteByte(' ')
+		}
+		bw.WriteString(strconv.Itoa(id))
+	}
+}
+
+// Read parses a dataset in the text format.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var d *Dataset
+	var namesL, namesR []string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "L\t") || text == "L":
+			if namesL != nil {
+				return nil, fmt.Errorf("dataset: line %d: duplicate L header", line)
+			}
+			namesL = splitNames(text)
+		case strings.HasPrefix(text, "R\t") || text == "R":
+			if namesR != nil {
+				return nil, fmt.Errorf("dataset: line %d: duplicate R header", line)
+			}
+			namesR = splitNames(text)
+		default:
+			if namesL == nil || namesR == nil {
+				return nil, fmt.Errorf("dataset: line %d: row before L/R headers", line)
+			}
+			if d == nil {
+				var err error
+				if d, err = New(namesL, namesR); err != nil {
+					return nil, err
+				}
+			}
+			left, right, err := parseRow(text)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			if err := d.AddRow(left, right); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if namesL == nil || namesR == nil {
+		return nil, fmt.Errorf("dataset: missing L/R headers")
+	}
+	if d == nil {
+		// Headers but zero rows: still a valid (empty) dataset.
+		return New(namesL, namesR)
+	}
+	return d, nil
+}
+
+func splitNames(header string) []string {
+	fields := strings.Split(header, "\t")[1:]
+	// "L" alone (no tab) means an empty vocabulary, which New will reject
+	// only if rows reference items.
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		out = append(out, f)
+	}
+	return out
+}
+
+func parseRow(text string) (left, right []int, err error) {
+	parts := strings.SplitN(text, "|", 2)
+	if len(parts) != 2 {
+		return nil, nil, fmt.Errorf("missing '|' separator in row %q", text)
+	}
+	if left, err = parseIDs(parts[0]); err != nil {
+		return nil, nil, err
+	}
+	if right, err = parseIDs(parts[1]); err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+func parseIDs(s string) ([]int, error) {
+	fields := strings.Fields(s)
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		id, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad item id %q", f)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// WriteFile writes d to path in the text format.
+func WriteFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a dataset from path.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := toy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDataset(t, d, got)
+}
+
+func TestReadFileWriteFile(t *testing.T) {
+	d := toy(t)
+	path := filepath.Join(t.TempDir(), "toy.tv")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDataset(t, d, got)
+}
+
+func TestReadTolerance(t *testing.T) {
+	in := "# comment\n\nL\ta\tb\n# another\nR\tc\n0 1 | 0\n\n1|\n"
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 || d.Items(Left) != 2 || d.Items(Right) != 1 {
+		t.Fatalf("dims = %d,%d,%d", d.Size(), d.Items(Left), d.Items(Right))
+	}
+	if d.Row(Right, 1).Count() != 0 {
+		t.Fatal("second row right side should be empty")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"row before headers":  "0 | 0\nL\ta\nR\tb\n",
+		"missing separator":   "L\ta\nR\tb\n0 0\n",
+		"bad id":              "L\ta\nR\tb\nx | 0\n",
+		"out of range":        "L\ta\nR\tb\n5 | 0\n",
+		"duplicate L header":  "L\ta\nL\tb\nR\tc\n0|0\n",
+		"no headers at all":   "# nothing\n",
+		"duplicate item name": "L\ta\ta\nR\tb\n0|0\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadEmptyDatasetWithHeaders(t *testing.T) {
+	d, err := Read(strings.NewReader("L\ta\nR\tb\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 0 || d.Items(Left) != 1 {
+		t.Fatal("empty dataset with headers should parse")
+	}
+}
+
+func assertSameDataset(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("size %d != %d", got.Size(), want.Size())
+	}
+	for _, v := range []View{Left, Right} {
+		if got.Items(v) != want.Items(v) {
+			t.Fatalf("items(%v) %d != %d", v, got.Items(v), want.Items(v))
+		}
+		for i := 0; i < want.Items(v); i++ {
+			if got.Name(v, i) != want.Name(v, i) {
+				t.Fatalf("name(%v,%d) %q != %q", v, i, got.Name(v, i), want.Name(v, i))
+			}
+		}
+		for tr := 0; tr < want.Size(); tr++ {
+			if !got.Row(v, tr).Equal(want.Row(v, tr)) {
+				t.Fatalf("row(%v,%d) differs", v, tr)
+			}
+		}
+	}
+}

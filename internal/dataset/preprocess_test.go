@@ -1,0 +1,250 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualHeightThresholds(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cuts := EqualHeightThresholds(vals, 5)
+	if len(cuts) != 4 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	// Each bin should hold 2 of the 10 values.
+	counts := make([]int, 5)
+	for _, v := range vals {
+		counts[binOf(v, cuts)]++
+	}
+	for b, c := range counts {
+		if c != 2 {
+			t.Fatalf("bin %d holds %d values (cuts %v, counts %v)", b, c, cuts, counts)
+		}
+	}
+}
+
+func TestEqualHeightThresholdsTies(t *testing.T) {
+	vals := []float64{1, 1, 1, 1, 1, 1, 1, 2}
+	cuts := EqualHeightThresholds(vals, 5)
+	// Heavy ties collapse duplicate cut points.
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+	if EqualHeightThresholds(nil, 5) != nil {
+		t.Fatal("no values should give no cuts")
+	}
+	if EqualHeightThresholds(vals, 1) != nil {
+		t.Fatal("k=1 should give no cuts")
+	}
+}
+
+func TestQuickEqualHeightBalance(t *testing.T) {
+	// On distinct values, equal-height bins differ in size by a bounded amount.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i) + r.Float64()*0.5 // distinct
+		}
+		r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		k := 2 + r.Intn(6)
+		cuts := EqualHeightThresholds(vals, k)
+		counts := make([]int, len(cuts)+1)
+		for _, v := range vals {
+			counts[binOf(v, cuts)]++
+		}
+		lo, hi := n, 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		return hi-lo <= n/k+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBooleanize(t *testing.T) {
+	cols := []*Column{
+		{Name: "age", Kind: Numeric, Values: []float64{10, 20, 30, 40, 50, 60}},
+		{Name: "color", Kind: Categorical, Labels: []string{"red", "blue", "red", "", "blue", "red"}},
+	}
+	bt, err := Booleanize(cols, BooleanizeOptions{Bins: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 bins for age + 2 colors = 5 items.
+	if len(bt.ItemNames) != 5 {
+		t.Fatalf("items = %v", bt.ItemNames)
+	}
+	// Every row has exactly one age item; row 3 has no color item.
+	for r, row := range bt.Rows {
+		nAge, nColor := 0, 0
+		for _, it := range row {
+			name := bt.ItemNames[it]
+			if name[:3] == "age" {
+				nAge++
+			} else {
+				nColor++
+			}
+		}
+		if nAge != 1 {
+			t.Fatalf("row %d has %d age items", r, nAge)
+		}
+		wantColor := 1
+		if r == 3 {
+			wantColor = 0
+		}
+		if nColor != wantColor {
+			t.Fatalf("row %d has %d color items, want %d", r, nColor, wantColor)
+		}
+	}
+}
+
+func TestBooleanizeMissingNumeric(t *testing.T) {
+	cols := []*Column{{
+		Name: "x", Kind: Numeric,
+		Values:  []float64{1, math.NaN(), 3, 4},
+		Missing: []bool{false, false, true, false},
+	}}
+	bt, err := Booleanize(cols, BooleanizeOptions{Bins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bt.Rows[1]) != 0 || len(bt.Rows[2]) != 0 {
+		t.Fatal("missing values must produce no items")
+	}
+	if len(bt.Rows[0]) != 1 || len(bt.Rows[3]) != 1 {
+		t.Fatal("present values must produce one item")
+	}
+}
+
+func TestBooleanizeMaxFrequency(t *testing.T) {
+	cols := []*Column{{
+		Name: "c", Kind: Categorical,
+		Labels: []string{"a", "a", "a", "b"},
+	}}
+	bt, err := Booleanize(cols, BooleanizeOptions{MaxFrequency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "c=a" occurs in 75% of rows and must be dropped.
+	if len(bt.ItemNames) != 1 || bt.ItemNames[0] != "c=b" {
+		t.Fatalf("items = %v", bt.ItemNames)
+	}
+}
+
+func TestBooleanizeErrors(t *testing.T) {
+	if _, err := Booleanize(nil, BooleanizeOptions{}); err == nil {
+		t.Fatal("no columns accepted")
+	}
+	cols := []*Column{
+		{Name: "a", Kind: Numeric, Values: []float64{1}},
+		{Name: "b", Kind: Numeric, Values: []float64{1, 2}},
+	}
+	if _, err := Booleanize(cols, BooleanizeOptions{}); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	bt := &BoolTable{
+		ItemNames: []string{"i0", "i1", "i2", "i3"},
+		Rows: [][]int{
+			{0, 1, 2, 3},
+			{0, 1},
+			{0, 2},
+			{0},
+		},
+	}
+	d, err := SplitBalanced(bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Items(Left)+d.Items(Right) != 4 || d.Size() != 4 {
+		t.Fatalf("split dims wrong: %d+%d items, %d rows", d.Items(Left), d.Items(Right), d.Size())
+	}
+	// Total ones must be preserved.
+	if d.Ones(Left)+d.Ones(Right) != 4+2+2+1 {
+		t.Fatal("split lost or duplicated ones")
+	}
+	// Ones should be near-balanced: the heaviest item (supp 4) alone on one
+	// side, the rest (total 5) on the other.
+	diff := d.Ones(Left) - d.Ones(Right)
+	if diff < -1 || diff > 1 {
+		t.Fatalf("ones imbalance: %d vs %d", d.Ones(Left), d.Ones(Right))
+	}
+}
+
+func TestSplitByAssignment(t *testing.T) {
+	bt := &BoolTable{
+		ItemNames: []string{"a", "b", "c"},
+		Rows:      [][]int{{0, 1, 2}, {1}},
+	}
+	d, err := SplitByAssignment(bt, []View{Left, Right, Left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name(Left, 0) != "a" || d.Name(Left, 1) != "c" || d.Name(Right, 0) != "b" {
+		t.Fatal("assignment names wrong")
+	}
+	if !d.Row(Left, 0).ContainsAll([]int{0, 1}) || !d.Row(Right, 0).Contains(0) {
+		t.Fatal("assignment rows wrong")
+	}
+	if _, err := SplitByAssignment(bt, []View{Left, Left, Left}); err == nil {
+		t.Fatal("empty right view accepted")
+	}
+	if _, err := SplitByAssignment(bt, []View{Left}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, err := SplitBalanced(&BoolTable{ItemNames: []string{"only"}}); err == nil {
+		t.Fatal("single-item split accepted")
+	}
+	bad := &BoolTable{ItemNames: []string{"a", "b"}, Rows: [][]int{{7}}}
+	if _, err := SplitBalanced(bad); err == nil {
+		t.Fatal("row with bad item accepted")
+	}
+}
+
+func TestQuickSplitPreservesCells(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nItems := 2 + r.Intn(10)
+		nRows := 1 + r.Intn(40)
+		bt := &BoolTable{ItemNames: GenericNames("i", nItems)}
+		ones := 0
+		for i := 0; i < nRows; i++ {
+			var row []int
+			for j := 0; j < nItems; j++ {
+				if r.Intn(3) == 0 {
+					row = append(row, j)
+					ones++
+				}
+			}
+			bt.Rows = append(bt.Rows, row)
+		}
+		d, err := SplitBalanced(bt)
+		if err != nil {
+			return false
+		}
+		return d.Ones(Left)+d.Ones(Right) == ones &&
+			d.Items(Left)+d.Items(Right) == nItems &&
+			d.Size() == nRows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements view splitting: the paper splits single-table
+// repository datasets "such that the items were evenly distributed over two
+// views having similar densities" (§6). SplitBalanced reproduces that:
+// items are assigned greedily, in decreasing order of support, to whichever
+// view currently has fewer total ones (breaking ties by item count), which
+// balances both density and vocabulary size.
+
+// SplitBalanced partitions the items of a Boolean table into two views and
+// returns the resulting two-view dataset. The greedy assignment is
+// deterministic for a given table.
+func SplitBalanced(t *BoolTable) (*Dataset, error) {
+	n := len(t.ItemNames)
+	if n < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 items to split, have %d", n)
+	}
+	supp := make([]int, n)
+	for _, row := range t.Rows {
+		for _, it := range row {
+			if it < 0 || it >= n {
+				return nil, fmt.Errorf("dataset: row references item %d outside [0,%d)", it, n)
+			}
+			supp[it]++
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if supp[order[a]] != supp[order[b]] {
+			return supp[order[a]] > supp[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	sideOf := make([]View, n)
+	onesL, onesR, cntL, cntR := 0, 0, 0, 0
+	for _, it := range order {
+		toLeft := onesL < onesR || (onesL == onesR && cntL <= cntR)
+		if toLeft {
+			sideOf[it] = Left
+			onesL += supp[it]
+			cntL++
+		} else {
+			sideOf[it] = Right
+			onesR += supp[it]
+			cntR++
+		}
+	}
+	return SplitByAssignment(t, sideOf)
+}
+
+// SplitByAssignment builds a two-view dataset from a Boolean table and an
+// explicit item-to-view assignment (sideOf[i] tells which view item i goes
+// to). Both views must be non-empty.
+func SplitByAssignment(t *BoolTable, sideOf []View) (*Dataset, error) {
+	n := len(t.ItemNames)
+	if len(sideOf) != n {
+		return nil, fmt.Errorf("dataset: assignment covers %d items, table has %d", len(sideOf), n)
+	}
+	newID := make([]int, n)
+	var namesL, namesR []string
+	for i, side := range sideOf {
+		if side == Left {
+			newID[i] = len(namesL)
+			namesL = append(namesL, t.ItemNames[i])
+		} else {
+			newID[i] = len(namesR)
+			namesR = append(namesR, t.ItemNames[i])
+		}
+	}
+	if len(namesL) == 0 || len(namesR) == 0 {
+		return nil, fmt.Errorf("dataset: split leaves a view empty (%d left, %d right)", len(namesL), len(namesR))
+	}
+	d, err := New(namesL, namesR)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range t.Rows {
+		var left, right []int
+		for _, it := range row {
+			if sideOf[it] == Left {
+				left = append(left, newID[it])
+			} else {
+				right = append(right, newID[it])
+			}
+		}
+		if err := d.AddRow(left, right); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+)
+
+// WriteDot renders a rule set as the tripartite graph of Fig. 3 in
+// Graphviz DOT: left-hand items on the left, one node per rule in the
+// middle, right-hand items on the right. An edge connects a rule to every
+// item it contains; it is drawn black when the implication points toward
+// the item (or the rule is bidirectional) and grey when the implication
+// only points away from it, matching the paper's figure legend.
+func WriteDot(w io.Writer, d *dataset.Dataset, t *core.Table, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=9];\n")
+
+	usedL, usedR := map[int]bool{}, map[int]bool{}
+	for _, r := range t.Rules {
+		for _, i := range r.X {
+			usedL[i] = true
+		}
+		for _, i := range r.Y {
+			usedR[i] = true
+		}
+	}
+	b.WriteString("  { rank=source;\n")
+	for i := 0; i < d.Items(dataset.Left); i++ {
+		if usedL[i] {
+			fmt.Fprintf(&b, "    L%d [label=%q];\n", i, d.Name(dataset.Left, i))
+		}
+	}
+	b.WriteString("  }\n  { rank=sink;\n")
+	for i := 0; i < d.Items(dataset.Right); i++ {
+		if usedR[i] {
+			fmt.Fprintf(&b, "    R%d [label=%q];\n", i, d.Name(dataset.Right, i))
+		}
+	}
+	b.WriteString("  }\n")
+
+	for ri, r := range t.Rules {
+		fmt.Fprintf(&b, "  rule%d [label=\"r%d %s\", shape=ellipse];\n", ri, ri+1, r.Dir)
+		for _, i := range r.X {
+			// Toward the left item means direction Backward (or Both).
+			color := "grey"
+			if r.Dir == core.Backward || r.Dir == core.Both {
+				color = "black"
+			}
+			fmt.Fprintf(&b, "  L%d -- rule%d [color=%s];\n", i, ri, color)
+		}
+		for _, i := range r.Y {
+			color := "grey"
+			if r.Dir == core.Forward || r.Dir == core.Both {
+				color = "black"
+			}
+			fmt.Fprintf(&b, "  rule%d -- R%d [color=%s];\n", ri, i, color)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

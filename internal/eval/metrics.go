@@ -1,0 +1,128 @@
+// Package eval implements the evaluation harness of §6: the metrics used
+// throughout the paper's tables (|T|, average rule length, |C|%, average
+// maximum confidence c+, compression ratio L%), the renderers that
+// regenerate every table and figure, and the DOT bipartite visualizations
+// of Fig. 3.
+package eval
+
+import (
+	"time"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/mdl"
+)
+
+// Metrics are the evaluation criteria of §6 for one rule set on one
+// dataset.
+type Metrics struct {
+	NumRules int     // |T|
+	AvgLen   float64 // average items per rule ("l" in Table 3)
+	CorrPct  float64 // |C|% under the translation encoding
+	AvgConf  float64 // average c+ over the rule set
+	LPct     float64 // compression ratio L%
+	Runtime  time.Duration
+}
+
+// MaxConfidence returns c+(X ◇ Y) = max{c(X→Y), c(X←Y)} on the dataset,
+// the direction-agnostic confidence of §6 ("to avoid penalizing methods
+// that induce bidirectional rules").
+func MaxConfidence(d *dataset.Dataset, r core.Rule) float64 {
+	joint := d.JointSupportSet(r.X, r.Y).Count()
+	if joint == 0 {
+		return 0
+	}
+	best := 0.0
+	if s := d.Support(dataset.Left, r.X); s > 0 {
+		best = float64(joint) / float64(s)
+	}
+	if s := d.Support(dataset.Right, r.Y); s > 0 {
+		if c := float64(joint) / float64(s); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Evaluate scores an arbitrary translation table on d under the paper's
+// encoding and computes all Table 3 metrics. The runtime field is left
+// zero; callers measure mining time themselves.
+func Evaluate(d *dataset.Dataset, coder *mdl.Coder, t *core.Table) Metrics {
+	s := core.EvaluateTable(d, coder, t)
+	m := Metrics{
+		NumRules: t.Size(),
+		AvgLen:   t.AvgRuleItems(),
+		CorrPct:  s.CorrectionRatio(),
+		LPct:     s.CompressionRatio(),
+	}
+	if t.Size() > 0 {
+		total := 0.0
+		for _, r := range t.Rules {
+			total += MaxConfidence(d, r)
+		}
+		m.AvgConf = total / float64(t.Size())
+	}
+	return m
+}
+
+// FromResult computes metrics for a TRANSLATOR result, reusing its final
+// state instead of replaying the table.
+func FromResult(d *dataset.Dataset, res *core.Result) Metrics {
+	t := res.Table
+	m := Metrics{
+		NumRules: t.Size(),
+		AvgLen:   t.AvgRuleItems(),
+		CorrPct:  res.State.CorrectionRatio(),
+		LPct:     res.State.CompressionRatio(),
+		Runtime:  res.Runtime,
+	}
+	if t.Size() > 0 {
+		total := 0.0
+		for _, r := range t.Rules {
+			total += MaxConfidence(d, r)
+		}
+		m.AvgConf = total / float64(t.Size())
+	}
+	return m
+}
+
+// RuleStats carries the presentation measures for one rule (Figs. 4–7).
+type RuleStats struct {
+	Rule core.Rule
+	Supp int
+	Conf float64 // c+
+}
+
+// TopRules returns the first n rules of a table with their stats,
+// formatted in mining order (TRANSLATOR adds most-compressing rules
+// first, so table order is the paper's "top rules" order).
+func TopRules(d *dataset.Dataset, t *core.Table, n int) []RuleStats {
+	if n > t.Size() {
+		n = t.Size()
+	}
+	out := make([]RuleStats, 0, n)
+	for _, r := range t.Rules[:n] {
+		out = append(out, RuleStats{
+			Rule: r,
+			Supp: d.JointSupportSet(r.X, r.Y).Count(),
+			Conf: MaxConfidence(d, r),
+		})
+	}
+	return out
+}
+
+// RulesWithItem returns every rule of t containing the given item of the
+// given view, preserving table order (Fig. 6 focuses on one item).
+func RulesWithItem(t *core.Table, v dataset.View, item int) []core.Rule {
+	var out []core.Rule
+	for _, r := range t.Rules {
+		side := r.X
+		if v == dataset.Right {
+			side = r.Y
+		}
+		if side.Contains(item) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

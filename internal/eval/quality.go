@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+)
+
+// RuleQuality collects the standard interestingness measures of one
+// translation rule on a dataset, complementing the MDL-based view with
+// the measures the association-mining literature reports.
+type RuleQuality struct {
+	Rule core.Rule
+	// Supp is |supp(X ∪ Y)|, SuppX and SuppY the per-side supports.
+	Supp, SuppX, SuppY int
+	// ConfForward is c(X→Y), ConfBackward is c(X←Y), Conf is c+.
+	ConfForward, ConfBackward, Conf float64
+	// Lift is P(XY) / (P(X)·P(Y)); 1 means independence.
+	Lift float64
+	// Leverage is P(XY) − P(X)·P(Y) (Webb's measure).
+	Leverage float64
+	// Jaccard is |supp(X)∩supp(Y)| / |supp(X)∪supp(Y)| (the
+	// redescription-mining accuracy).
+	Jaccard float64
+}
+
+// Quality computes all measures for one rule.
+func Quality(d *dataset.Dataset, r core.Rule) RuleQuality {
+	q := RuleQuality{Rule: r}
+	q.Supp = d.JointSupportSet(r.X, r.Y).Count()
+	q.SuppX = d.Support(dataset.Left, r.X)
+	q.SuppY = d.Support(dataset.Right, r.Y)
+	n := float64(d.Size())
+	if n == 0 {
+		return q
+	}
+	if q.SuppX > 0 {
+		q.ConfForward = float64(q.Supp) / float64(q.SuppX)
+	}
+	if q.SuppY > 0 {
+		q.ConfBackward = float64(q.Supp) / float64(q.SuppY)
+	}
+	q.Conf = q.ConfForward
+	if q.ConfBackward > q.Conf {
+		q.Conf = q.ConfBackward
+	}
+	pXY := float64(q.Supp) / n
+	pX := float64(q.SuppX) / n
+	pY := float64(q.SuppY) / n
+	if pX > 0 && pY > 0 {
+		q.Lift = pXY / (pX * pY)
+	}
+	q.Leverage = pXY - pX*pY
+	if union := q.SuppX + q.SuppY - q.Supp; union > 0 {
+		q.Jaccard = float64(q.Supp) / float64(union)
+	}
+	return q
+}
+
+// QualityTable computes measures for every rule of a table, in table
+// order.
+func QualityTable(d *dataset.Dataset, t *core.Table) []RuleQuality {
+	out := make([]RuleQuality, 0, t.Size())
+	for _, r := range t.Rules {
+		out = append(out, Quality(d, r))
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+func TestQualityMeasures(t *testing.T) {
+	d := sampleData(t) // 4 rows; a: rows 0-2, p: rows 0-2; b: 0,1,3; q: 2,3
+	q := Quality(d, core.Rule{X: itemset.New(0), Dir: core.Both, Y: itemset.New(0)})
+	if q.Supp != 3 || q.SuppX != 3 || q.SuppY != 3 {
+		t.Fatalf("supports: %+v", q)
+	}
+	if math.Abs(q.ConfForward-1) > 1e-12 || math.Abs(q.ConfBackward-1) > 1e-12 || q.Conf != 1 {
+		t.Fatalf("confidences: %+v", q)
+	}
+	// lift = (3/4) / (3/4 · 3/4) = 4/3.
+	if math.Abs(q.Lift-4.0/3) > 1e-12 {
+		t.Fatalf("lift = %v", q.Lift)
+	}
+	// leverage = 3/4 − 9/16 = 3/16.
+	if math.Abs(q.Leverage-3.0/16) > 1e-12 {
+		t.Fatalf("leverage = %v", q.Leverage)
+	}
+	if math.Abs(q.Jaccard-1) > 1e-12 {
+		t.Fatalf("jaccard = %v", q.Jaccard)
+	}
+}
+
+func TestQualityAsymmetricRule(t *testing.T) {
+	d := sampleData(t)
+	// b → q: joint {3}, supp(b)=3, supp(q)=2.
+	q := Quality(d, core.Rule{X: itemset.New(1), Dir: core.Forward, Y: itemset.New(1)})
+	if math.Abs(q.ConfForward-1.0/3) > 1e-12 || math.Abs(q.ConfBackward-0.5) > 1e-12 {
+		t.Fatalf("confidences: fwd=%v bwd=%v", q.ConfForward, q.ConfBackward)
+	}
+	if q.Conf != q.ConfBackward {
+		t.Fatal("c+ must be the max direction")
+	}
+	// jaccard = 1 / (3+2-1) = 0.25.
+	if math.Abs(q.Jaccard-0.25) > 1e-12 {
+		t.Fatalf("jaccard = %v", q.Jaccard)
+	}
+	if q.Conf != MaxConfidence(d, q.Rule) {
+		t.Fatal("Conf must equal MaxConfidence")
+	}
+}
+
+func TestQualityDegenerate(t *testing.T) {
+	d := dataset.MustNew([]string{"x"}, []string{"y"})
+	q := Quality(d, core.Rule{X: itemset.New(0), Dir: core.Both, Y: itemset.New(0)})
+	if q.Lift != 0 || q.Jaccard != 0 || q.Conf != 0 {
+		t.Fatalf("empty dataset quality: %+v", q)
+	}
+}
+
+func TestQualityTableOrder(t *testing.T) {
+	d := sampleData(t)
+	tab := &core.Table{Rules: []core.Rule{
+		{X: itemset.New(0), Dir: core.Both, Y: itemset.New(0)},
+		{X: itemset.New(1), Dir: core.Forward, Y: itemset.New(1)},
+	}}
+	qs := QualityTable(d, tab)
+	if len(qs) != 2 || qs[0].Rule.Compare(tab.Rules[0]) != 0 {
+		t.Fatal("QualityTable order wrong")
+	}
+	// Independence sanity: lift > 1 for the positively associated rule.
+	if qs[0].Lift <= 1 {
+		t.Fatal("positively associated rule should have lift > 1")
+	}
+}

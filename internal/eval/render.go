@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// TextTable accumulates rows and renders them with aligned columns, right
+// alignment for numeric-looking cells.
+type TextTable struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTextTable creates a table with the given column headers.
+func NewTextTable(header ...string) *TextTable {
+	return &TextTable{header: header}
+}
+
+// AddRow appends one row; each cell is formatted with %v.
+func (t *TextTable) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *TextTable) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *TextTable) String() string {
+	var b strings.Builder
+	t.Render(&b) // strings.Builder never errors
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"twoview/internal/core"
+)
+
+// WriteIterationsCSV exports a mining trace as CSV (one row per added
+// rule), the plotting-friendly form of Fig. 2's series: iteration,
+// |U_L|, |U_R|, |E_L|, |E_R|, L(T), L(D_L→R|T), L(D_L←R|T), total score,
+// gain, and the rule itself.
+func WriteIterationsCSV(w io.Writer, iters []core.IterationStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"iteration", "uncovered_left", "uncovered_right",
+		"errors_left", "errors_right",
+		"table_len", "corr_len_l2r", "corr_len_r2l", "score", "gain", "rule",
+	}); err != nil {
+		return err
+	}
+	for _, it := range iters {
+		rec := []string{
+			fmt.Sprintf("%d", it.Iteration),
+			fmt.Sprintf("%d", it.UncoveredL),
+			fmt.Sprintf("%d", it.UncoveredR),
+			fmt.Sprintf("%d", it.ErrorsL),
+			fmt.Sprintf("%d", it.ErrorsR),
+			fmt.Sprintf("%.4f", it.TableLen),
+			fmt.Sprintf("%.4f", it.CorrLenR),
+			fmt.Sprintf("%.4f", it.CorrLenL),
+			fmt.Sprintf("%.4f", it.Score),
+			fmt.Sprintf("%.4f", it.Gain),
+			it.Rule.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

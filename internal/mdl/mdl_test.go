@@ -1,0 +1,180 @@
+package mdl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+// four transactions; left item 0 occurs in 2 of 4 (1 bit), left item 1 in
+// 1 of 4 (2 bits), right item 0 in all 4 (0 bits), right item 1 never.
+func fixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.MustNew([]string{"a", "b"}, []string{"p", "q"})
+	rows := [][2][]int{
+		{{0}, {0}},
+		{{0, 1}, {0}},
+		{{}, {0}},
+		{{}, {0}},
+	}
+	for _, r := range rows {
+		if err := d.AddRow(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestItemLen(t *testing.T) {
+	c := NewCoder(fixture(t))
+	if got := c.ItemLen(dataset.Left, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("L(a) = %v, want 1", got)
+	}
+	if got := c.ItemLen(dataset.Left, 1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("L(b) = %v, want 2", got)
+	}
+	if got := c.ItemLen(dataset.Right, 0); got != 0 {
+		t.Fatalf("L(p) = %v, want 0", got)
+	}
+	if got := c.ItemLen(dataset.Right, 1); !math.IsInf(got, 1) {
+		t.Fatalf("L(q) = %v, want +Inf", got)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+}
+
+func TestSetLenAndBitsLenAgree(t *testing.T) {
+	c := NewCoder(fixture(t))
+	x := itemset.New(0, 1)
+	want := c.ItemLen(dataset.Left, 0) + c.ItemLen(dataset.Left, 1)
+	if got := c.SetLen(dataset.Left, x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SetLen = %v, want %v", got, want)
+	}
+	b := bitset.FromIndices(2, []int{0, 1})
+	if got := c.BitsLen(dataset.Left, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BitsLen = %v, want %v", got, want)
+	}
+	if got := c.SetLen(dataset.Left, nil); got != 0 {
+		t.Fatalf("SetLen(∅) = %v", got)
+	}
+}
+
+func TestBitsLenWidthMismatchPanics(t *testing.T) {
+	c := NewCoder(fixture(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BitsLen with wrong width did not panic")
+		}
+	}()
+	c.BitsLen(dataset.Left, bitset.New(5))
+}
+
+func TestDirAndRuleLen(t *testing.T) {
+	if DirLen(true) != 1 || DirLen(false) != 2 {
+		t.Fatal("DirLen wrong")
+	}
+	c := NewCoder(fixture(t))
+	x, y := itemset.New(0), itemset.New(0)
+	// L(a)=1, L(p)=0.
+	if got := c.RuleLen(x, y, true); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("RuleLen bidir = %v, want 2", got)
+	}
+	if got := c.RuleLen(x, y, false); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("RuleLen unidir = %v, want 3", got)
+	}
+}
+
+func TestDataAndBaselineLen(t *testing.T) {
+	d := fixture(t)
+	c := NewCoder(d)
+	// Left view: rows cost 1, 1+2, 0, 0 bits.
+	if got := c.DataLen(d, dataset.Left); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("DataLen(L) = %v, want 4", got)
+	}
+	// Right view: item p costs 0 bits everywhere.
+	if got := c.DataLen(d, dataset.Right); got != 0 {
+		t.Fatalf("DataLen(R) = %v, want 0", got)
+	}
+	if got := c.BaselineLen(d); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("BaselineLen = %v, want 4", got)
+	}
+}
+
+func TestEmptyDatasetInfLengths(t *testing.T) {
+	d := dataset.MustNew([]string{"a"}, []string{"b"})
+	c := NewCoder(d)
+	if !math.IsInf(c.ItemLen(dataset.Left, 0), 1) {
+		t.Fatal("items of an empty dataset must cost +Inf")
+	}
+	if c.BaselineLen(d) != 0 {
+		t.Fatal("baseline of an empty dataset must be 0")
+	}
+}
+
+// Properties: code lengths are non-negative and antitone in support; the
+// baseline equals Σ_items supp(I)·L(I).
+func TestQuickCoderProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nL, nR := 1+r.Intn(8), 1+r.Intn(8)
+		d := dataset.MustNew(dataset.GenericNames("l", nL), dataset.GenericNames("r", nR))
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			var left, right []int
+			for j := 0; j < nL; j++ {
+				if r.Intn(4) == 0 {
+					left = append(left, j)
+				}
+			}
+			for j := 0; j < nR; j++ {
+				if r.Intn(4) == 0 {
+					right = append(right, j)
+				}
+			}
+			if err := d.AddRow(left, right); err != nil {
+				return false
+			}
+		}
+		c := NewCoder(d)
+		for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+			for i := 0; i < d.Items(v); i++ {
+				l := c.ItemLen(v, i)
+				if l < 0 {
+					return false
+				}
+				if s := d.ItemSupport(v, i); (s == 0) != math.IsInf(l, 1) {
+					return false
+				}
+			}
+			// Antitone in support.
+			for i := 0; i < d.Items(v); i++ {
+				for j := 0; j < d.Items(v); j++ {
+					si, sj := d.ItemSupport(v, i), d.ItemSupport(v, j)
+					if si > 0 && sj > 0 && si < sj && c.ItemLen(v, i) < c.ItemLen(v, j) {
+						return false
+					}
+				}
+			}
+			// Baseline decomposition.
+			want := 0.0
+			for i := 0; i < d.Items(v); i++ {
+				if s := d.ItemSupport(v, i); s > 0 {
+					want += float64(s) * c.ItemLen(v, i)
+				}
+			}
+			if math.Abs(c.DataLen(d, v)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

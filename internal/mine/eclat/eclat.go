@@ -1,0 +1,204 @@
+// Package eclat mines frequent and closed frequent itemsets over the
+// joined alphabet of a two-view dataset using depth-first tidset
+// intersection (the ECLAT algorithm of Zaki et al.), with a
+// prefix-preserving closure extension for closed itemsets. It provides the
+// candidate sets used by TRANSLATOR-SELECT and TRANSLATOR-GREEDY: closed
+// frequent *two-view* itemsets, i.e. itemsets with items from both views
+// (§5.3 of the paper).
+package eclat
+
+import (
+	"fmt"
+	"sort"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+// FI is a mined frequent itemset over the joined alphabet: left items keep
+// their ids, right items are offset by |I_L|.
+type FI struct {
+	Items itemset.Itemset // joined ids, canonical
+	Supp  int             // |supp(Items)| over the joined data
+	Tids  *bitset.Set     // supporting transactions
+}
+
+// Split separates a joined itemset into its left and right parts, undoing
+// the offset.
+func Split(joined itemset.Itemset, nLeft int) (x, y itemset.Itemset) {
+	for _, i := range joined {
+		if i < nLeft {
+			x = append(x, i)
+		} else {
+			y = append(y, i-nLeft)
+		}
+	}
+	return x, y
+}
+
+// Options configures mining.
+type Options struct {
+	// MinSupport is the minimal absolute support; values < 1 are
+	// treated as 1 (every itemset must occur).
+	MinSupport int
+	// Closed restricts output to closed itemsets (no superset with the
+	// same support).
+	Closed bool
+	// TwoView keeps only itemsets with at least one item in each view.
+	TwoView bool
+	// MaxItems bounds the itemset size; 0 means unbounded.
+	MaxItems int
+	// MaxResults aborts mining with an error when exceeded; it protects
+	// against accidental pattern explosions. 0 means unbounded.
+	MaxResults int
+}
+
+// Mine returns the (closed) frequent itemsets of the joined views of d
+// under the given options, sorted by decreasing support with a
+// deterministic tie-break.
+func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
+	if opt.MinSupport < 1 {
+		opt.MinSupport = 1
+	}
+	nL := d.Items(dataset.Left)
+	m := nL + d.Items(dataset.Right)
+
+	cols := make([]*bitset.Set, m)
+	for i, c := range d.Columns(dataset.Left) {
+		cols[i] = c
+	}
+	for i, c := range d.Columns(dataset.Right) {
+		cols[nL+i] = c
+	}
+
+	mi := &miner{d: d, opt: opt, nLeft: nL, cols: cols}
+	// Frequent single items, in ascending support order: extending by
+	// rarer items first keeps tidsets small early (standard ECLAT
+	// heuristic) while remaining deterministic.
+	var freq []int
+	for i := 0; i < m; i++ {
+		if cols[i].Count() >= opt.MinSupport {
+			freq = append(freq, i)
+		}
+	}
+	sort.Slice(freq, func(a, b int) bool {
+		ca, cb := cols[freq[a]].Count(), cols[freq[b]].Count()
+		if ca != cb {
+			return ca < cb
+		}
+		return freq[a] < freq[b]
+	})
+	mi.order = freq
+	mi.rank = make(map[int]int, len(freq))
+	for r, it := range freq {
+		mi.rank[it] = r
+	}
+
+	all := bitset.New(d.Size())
+	all.Fill()
+	if err := mi.dfs(nil, all, 0); err != nil {
+		return nil, err
+	}
+
+	out := mi.out
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Supp != out[b].Supp {
+			return out[a].Supp > out[b].Supp
+		}
+		return itemset.Compare(out[a].Items, out[b].Items) < 0
+	})
+	return out, nil
+}
+
+type miner struct {
+	d     *dataset.Dataset
+	opt   Options
+	nLeft int
+	cols  []*bitset.Set
+	order []int       // frequent items in search order
+	rank  map[int]int // item id -> position in order
+	out   []FI
+}
+
+// dfs grows the current itemset (cur, with tidset tids) by items at order
+// positions ≥ start. For closed mining it applies the prefix-preserving
+// closure test: the closure of cur must not contain any item that precedes
+// the generating item in the search order, otherwise the branch duplicates
+// an already-explored closed set.
+func (m *miner) dfs(cur itemset.Itemset, tids *bitset.Set, start int) error {
+	for k := start; k < len(m.order); k++ {
+		it := m.order[k]
+		if cur.Contains(it) {
+			continue // already absorbed by a closure on this path
+		}
+		child := bitset.New(m.d.Size())
+		bitset.IntersectInto(child, tids, m.cols[it])
+		supp := child.Count()
+		if supp < m.opt.MinSupport {
+			continue
+		}
+		cand := insertSorted(cur, it)
+		if m.opt.MaxItems > 0 && len(cand) > m.opt.MaxItems {
+			continue
+		}
+		next := cand
+		emit := cand
+		if m.opt.Closed {
+			closure, ok := m.closure(cand, child, k)
+			if !ok {
+				// Non-canonical: an item preceding position k closes
+				// cand, so this branch (and every extension, whose
+				// closure would contain that item too) duplicates an
+				// already-explored closed set.
+				continue
+			}
+			next, emit = closure, closure
+			if m.opt.MaxItems > 0 && len(emit) > m.opt.MaxItems {
+				emit = nil // closure outgrew the bound; recurse only
+			}
+		}
+		if emit != nil && (!m.opt.TwoView || m.isTwoView(emit)) {
+			m.out = append(m.out, FI{Items: emit, Supp: supp, Tids: child})
+			if m.opt.MaxResults > 0 && len(m.out) > m.opt.MaxResults {
+				return fmt.Errorf("eclat: more than %d itemsets; raise MinSupport", m.opt.MaxResults)
+			}
+		}
+		if err := m.dfs(next, child, k+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closure returns cur extended with every item whose tidset is a superset
+// of tids. ok is false when some such item precedes position k in the
+// search order without being in cur (the ppc test).
+func (m *miner) closure(cur itemset.Itemset, tids *bitset.Set, k int) (itemset.Itemset, bool) {
+	closure := cur
+	for r, it := range m.order {
+		if cur.Contains(it) {
+			continue
+		}
+		if tids.SubsetOf(m.cols[it]) {
+			if r < k {
+				return nil, false
+			}
+			closure = insertSorted(closure, it)
+		}
+	}
+	return closure, true
+}
+
+func (m *miner) isTwoView(s itemset.Itemset) bool {
+	return len(s) >= 2 && s[0] < m.nLeft && s[len(s)-1] >= m.nLeft
+}
+
+func insertSorted(s itemset.Itemset, x int) itemset.Itemset {
+	i := sort.SearchInts(s, x)
+	out := make(itemset.Itemset, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}

@@ -1,0 +1,142 @@
+package multiview
+
+import (
+	"math/rand"
+	"testing"
+
+	"twoview/internal/dataset"
+)
+
+// threeViews builds a 3-view dataset where views A and B share planted
+// structure while view C is independent noise.
+func threeViews(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := New(
+		[]string{"A", "B", "C"},
+		[][]string{
+			dataset.GenericNames("a", 6),
+			dataset.GenericNames("b", 6),
+			dataset.GenericNames("c", 6),
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		var a, b, c []int
+		if i%2 == 0 { // planted A-B association
+			a = append(a, 0, 1)
+			b = append(b, 0, 1)
+		}
+		for j := 2; j < 6; j++ {
+			if r.Intn(6) == 0 {
+				a = append(a, j)
+			}
+			if r.Intn(6) == 0 {
+				b = append(b, j)
+			}
+		}
+		for j := 0; j < 6; j++ {
+			if r.Intn(4) == 0 {
+				c = append(c, j)
+			}
+		}
+		if err := d.AddRow([][]int{a, b, c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"only"}, [][]string{{"x"}}); err == nil {
+		t.Fatal("single view accepted")
+	}
+	if _, err := New([]string{"a", "a"}, [][]string{{"x"}, {"y"}}); err == nil {
+		t.Fatal("duplicate view names accepted")
+	}
+	if _, err := New([]string{"a", "b"}, [][]string{{"x"}}); err == nil {
+		t.Fatal("mismatched vocabularies accepted")
+	}
+}
+
+func TestAddRowValidation(t *testing.T) {
+	d, err := New([]string{"a", "b"}, [][]string{{"x"}, {"y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRow([][]int{{0}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := d.AddRow([][]int{{0}, {5}}); err == nil {
+		t.Fatal("out-of-range item accepted")
+	}
+	if err := d.AddRow([][]int{{0}, {0}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1 || d.Views() != 2 || d.ViewName(1) != "b" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPairProjection(t *testing.T) {
+	d := threeViews(t)
+	two, err := d.Pair(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Size() != d.Size() || two.Items(dataset.Left) != 6 || two.Items(dataset.Right) != 6 {
+		t.Fatal("projection dims wrong")
+	}
+	if two.Name(dataset.Left, 0) != "a0" || two.Name(dataset.Right, 0) != "c0" {
+		t.Fatal("projection names wrong")
+	}
+	if _, err := d.Pair(1, 1); err == nil {
+		t.Fatal("self-pair accepted")
+	}
+	if _, err := d.Pair(-1, 2); err == nil {
+		t.Fatal("negative view accepted")
+	}
+}
+
+func TestMineAllPairsFindsSharedStructureOnly(t *testing.T) {
+	d := threeViews(t)
+	results, err := MineAllPairs(d, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d pair results, want 3", len(results))
+	}
+	m := StructureMatrix(d, results)
+	// A-B share structure: clearly compressed.
+	if m[0][1] >= 95 {
+		t.Fatalf("A-B L%% = %v, expected compression", m[0][1])
+	}
+	if m[0][1] != m[1][0] || m[0][0] != 0 {
+		t.Fatal("matrix not symmetric or diagonal not zero")
+	}
+	// Pairs involving the independent view stay near (or above) 100,
+	// clearly worse than the structured pair.
+	if m[0][2] < m[0][1]+5 || m[1][2] < m[0][1]+5 {
+		t.Fatalf("independent pairs look structured: %v", m)
+	}
+}
+
+func TestMineAllPairsDeterministic(t *testing.T) {
+	d := threeViews(t)
+	a, err := MineAllPairs(d, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MineAllPairs(d, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Result.Table.Size() != b[i].Result.Table.Size() {
+			t.Fatal("not deterministic")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package synth
+
+import "fmt"
+
+// Profiles returns the fourteen dataset profiles calibrated to Table 1 of
+// the paper: the same |D|, |I_L|, |I_R| and densities d_L, d_R. Planted
+// rule counts are chosen roughly proportional to the table sizes the
+// paper's TRANSLATOR-SELECT(1) discovers (Table 2), so the synthetic
+// analogues carry a comparable amount of cross-view structure. MinSupport
+// mirrors the per-dataset candidate thresholds of Table 2's lower half.
+func Profiles() []Profile {
+	return []Profile{
+		// --- Table 2, top half: exact search feasible, minsup = 1 ---
+		{Name: "abalone", Size: 4177, ItemsL: 27, ItemsR: 31,
+			DensityL: 0.185, DensityR: 0.129,
+			BidirRules: 10, UniRules: 12, Seed: 101, Small: true},
+		{Name: "car", Size: 1728, ItemsL: 15, ItemsR: 10,
+			DensityL: 0.267, DensityR: 0.300,
+			BidirRules: 3, UniRules: 4, Seed: 102, Small: true},
+		{Name: "chesskrvk", Size: 28056, ItemsL: 24, ItemsR: 34,
+			DensityL: 0.167, DensityR: 0.088,
+			BidirRules: 16, UniRules: 20, Seed: 103, Small: true},
+		{Name: "nursery", Size: 12960, ItemsL: 19, ItemsR: 13,
+			DensityL: 0.263, DensityR: 0.308,
+			BidirRules: 4, UniRules: 6, Seed: 104, Small: true},
+		{Name: "tictactoe", Size: 958, ItemsL: 15, ItemsR: 14,
+			DensityL: 0.333, DensityR: 0.357,
+			BidirRules: 8, UniRules: 10, Seed: 105, Small: true},
+		{Name: "wine", Size: 178, ItemsL: 35, ItemsR: 33,
+			DensityL: 0.200, DensityR: 0.212,
+			BidirRules: 6, UniRules: 8, Seed: 106, Small: true},
+		{Name: "yeast", Size: 1484, ItemsL: 24, ItemsR: 26,
+			DensityL: 0.167, DensityR: 0.192,
+			BidirRules: 7, UniRules: 9, Seed: 107, Small: true},
+
+		// --- Table 2, bottom half: candidate-based search only ---
+		{Name: "adult", Size: 48842, ItemsL: 44, ItemsR: 53,
+			DensityL: 0.179, DensityR: 0.132,
+			BidirRules: 3, UniRules: 5, Seed: 108, MinSupport: 4885},
+		{Name: "cal500", Size: 502, ItemsL: 78, ItemsR: 97,
+			DensityL: 0.241, DensityR: 0.074,
+			BidirRules: 10, UniRules: 14, Seed: 109, MinSupport: 20},
+		{Name: "crime", Size: 2215, ItemsL: 244, ItemsR: 294,
+			DensityL: 0.201, DensityR: 0.194,
+			BidirRules: 20, UniRules: 28, Seed: 110, MinSupport: 200},
+		{Name: "elections", Size: 1846, ItemsL: 82, ItemsR: 867,
+			DensityL: 0.061, DensityR: 0.034,
+			BidirRules: 12, UniRules: 18, Seed: 111, MinSupport: 47},
+		{Name: "emotions", Size: 593, ItemsL: 430, ItemsR: 12,
+			DensityL: 0.167, DensityR: 0.501,
+			BidirRules: 5, UniRules: 7, Seed: 112, MinSupport: 40,
+			RuleItemsMin: 2, RuleItemsMax: 3},
+		{Name: "house", Size: 435, ItemsL: 26, ItemsR: 24,
+			DensityL: 0.347, DensityR: 0.334,
+			BidirRules: 7, UniRules: 9, Seed: 113, MinSupport: 8},
+		{Name: "mammals", Size: 2575, ItemsL: 95, ItemsR: 94,
+			DensityL: 0.172, DensityR: 0.169,
+			BidirRules: 10, UniRules: 12, Seed: 114, MinSupport: 773},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q", name)
+}
+
+// SmallProfiles returns the Table-2-top datasets (exact search feasible).
+func SmallProfiles() []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Small {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LargeProfiles returns the Table-2-bottom datasets.
+func LargeProfiles() []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if !p.Small {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package twoview
+
+import "twoview/internal/multiview"
+
+// Multi-view support (the paper's §7 future-work direction): datasets
+// with more than two views are decomposed into pairwise two-view
+// problems; see the multiview example.
+type (
+	// MultiDataset is a Boolean dataset with k ≥ 2 views.
+	MultiDataset = multiview.Dataset
+	// PairResult is the mining outcome for one view pair.
+	PairResult = multiview.PairResult
+	// MultiOptions configures MineAllPairs.
+	MultiOptions = multiview.Options
+)
+
+// NewMultiDataset creates an empty k-view dataset.
+func NewMultiDataset(viewNames []string, itemNames [][]string) (*MultiDataset, error) {
+	return multiview.New(viewNames, itemNames)
+}
+
+// MineAllPairs mines a translation table for every unordered view pair.
+func MineAllPairs(d *MultiDataset, opt MultiOptions) ([]PairResult, error) {
+	return multiview.MineAllPairs(d, opt)
+}
+
+// StructureMatrix summarizes pairwise compression ratios L% as a
+// symmetric matrix; entries near 100 indicate independent view pairs.
+func StructureMatrix(d *MultiDataset, results []PairResult) [][]float64 {
+	return multiview.StructureMatrix(d, results)
+}

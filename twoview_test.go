@@ -1,0 +1,159 @@
+package twoview_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"twoview"
+)
+
+// buildToy constructs the running example: music features on the left,
+// evoked emotions on the right.
+func buildToy(t testing.TB) *twoview.Dataset {
+	d, err := twoview.NewDataset(
+		[]string{"genre:rock", "genre:rnb", "tempo:fast", "vocals:aggressive"},
+		[]string{"mood:energetic", "mood:catchy", "mood:positive"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][2][]int{
+		{{0, 2}, {0}},
+		{{0, 2, 3}, {0}},
+		{{0, 3}, {0}},
+		{{1}, {1, 2}},
+		{{1}, {1, 2}},
+		{{1, 2}, {1, 2}},
+		{{2}, {}},
+		{{3}, {0}},
+	}
+	for _, r := range rows {
+		if err := d.AddRow(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d := buildToy(t)
+	cands, err := twoview.MineCandidates(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	if res.Table.Size() == 0 {
+		t.Fatal("no rules mined")
+	}
+	m := twoview.Summarize(d, res)
+	if m.LPct >= 100 {
+		t.Fatalf("no compression: %v", m.LPct)
+	}
+	// Exact agrees on this small instance (score can only be better).
+	exact := twoview.MineExact(d, twoview.ExactOptions{})
+	me := twoview.Summarize(d, exact)
+	if me.LPct > m.LPct+1e-9 {
+		t.Fatalf("exact (%v) worse than select (%v)", me.LPct, m.LPct)
+	}
+	// EvaluateTable replays to the same metrics.
+	m2 := twoview.EvaluateTable(d, res.Table)
+	if math.Abs(m2.LPct-m.LPct) > 1e-9 {
+		t.Fatalf("EvaluateTable %v != Summarize %v", m2.LPct, m.LPct)
+	}
+	// TopRules and MaxConfidence are exposed.
+	top := twoview.TopRules(d, res.Table, 1)
+	if len(top) != 1 || top[0].Conf != twoview.MaxConfidence(d, top[0].Rule) {
+		t.Fatal("TopRules inconsistent with MaxConfidence")
+	}
+}
+
+func TestPublicAPIGreedyAndDirections(t *testing.T) {
+	d := buildToy(t)
+	cands, err := twoview.MineCandidates(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+	if res.Table.Size() == 0 {
+		t.Fatal("greedy found nothing")
+	}
+	for _, r := range res.Table.Rules {
+		switch r.Dir {
+		case twoview.Forward, twoview.Backward, twoview.Both:
+		default:
+			t.Fatalf("unexpected direction %v", r.Dir)
+		}
+	}
+}
+
+func TestPublicAPIDatasetIO(t *testing.T) {
+	d := buildToy(t)
+	var buf bytes.Buffer
+	if err := twoview.WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := twoview.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != d.Size() || d2.Items(twoview.Left) != d.Items(twoview.Left) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestPublicAPISynthesis(t *testing.T) {
+	p, err := twoview.ProfileByName("wine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, truth, err := twoview.Generate(p.Scaled(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 89 || len(truth) == 0 {
+		t.Fatalf("generate: size=%d truth=%d", d.Size(), len(truth))
+	}
+	if len(twoview.Profiles()) != 14 {
+		t.Fatal("profile count wrong")
+	}
+}
+
+func TestPublicAPIDot(t *testing.T) {
+	d := buildToy(t)
+	cands, _ := twoview.MineCandidates(d, 1, 0)
+	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	var b strings.Builder
+	if err := twoview.WriteDot(&b, d, res.Table, "toy"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "graph \"toy\"") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+// ExampleMineSelect demonstrates the quickstart flow on a tiny dataset.
+func ExampleMineSelect() {
+	d, _ := twoview.NewDataset(
+		[]string{"rock", "fast"},
+		[]string{"energetic"},
+	)
+	for i := 0; i < 8; i++ {
+		d.AddRow([]int{0, 1}, []int{0})
+	}
+	for i := 0; i < 4; i++ {
+		d.AddRow(nil, nil)
+	}
+	cands, _ := twoview.MineCandidates(d, 1, 0)
+	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	for _, r := range res.Table.Rules {
+		fmt.Println(r.Format(d))
+	}
+	// Output:
+	// {rock, fast} <-> {energetic}
+}
