@@ -266,3 +266,35 @@ func BenchmarkExactPruningOff(b *testing.B) {
 		twoview.MineExact(d, twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true})
 	}
 }
+
+// --- Extension X3: parallel exact search ablation ---
+
+// BenchmarkMineExact crosses worker count (serial vs GOMAXPROCS pool)
+// with the §5.2 pruning bounds; the serial/parallel ratio is the
+// headline speedup of the parallel branch-and-bound search.
+func BenchmarkMineExact(b *testing.B) {
+	p, _ := synth.ProfileByName("car")
+	d, _, err := synth.Generate(p.Scaled(0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opt  twoview.ExactOptions
+	}{
+		{"serial", twoview.ExactOptions{MaxRules: 2, Workers: 1}},
+		{"parallel", twoview.ExactOptions{MaxRules: 2}},
+		{"serial-nobounds", twoview.ExactOptions{MaxRules: 2, Workers: 1, DisableRub: true, DisableQub: true}},
+		{"parallel-nobounds", twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := twoview.MineExact(d, cfg.opt)
+				if res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}

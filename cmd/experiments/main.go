@@ -78,12 +78,14 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all' (table1, table2small, table2large, table3, fig2..fig7, recovery, ablation)")
-		scale = flag.Float64("scale", 0.1, "dataset scale factor; 1.0 = paper-sized")
-		out   = flag.String("out", "", "directory for per-experiment output files (default: stdout only)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id or 'all' (table1, table2small, table2large, table3, fig2..fig7, recovery, ablation)")
+		scale   = flag.Float64("scale", 0.1, "dataset scale factor; 1.0 = paper-sized")
+		out     = flag.String("out", "", "directory for per-experiment output files (default: stdout only)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "mining worker goroutines (0 = GOMAXPROCS, 1 = serial); results are identical")
 	)
 	flag.Parse()
+	eval.Workers = *workers
 
 	all := experiments()
 	if *list {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	translator -in data.tv [-algo select|exact|greedy] [-k 1] [-minsup 1]
-//	           [-max-rules 0] [-trace] [-dot out.dot]
+//	           [-max-rules 0] [-workers 0] [-trace] [-dot out.dot]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		k        = flag.Int("k", 1, "rules per iteration for select")
 		minsup   = flag.Int("minsup", 1, "minimum candidate support for select/greedy")
 		maxRules = flag.Int("max-rules", 0, "stop after this many rules (0 = MDL stopping only)")
+		workers  = flag.Int("workers", 0, "worker goroutines for exact/select search (0 = GOMAXPROCS, 1 = serial); results are identical")
 		trace    = flag.Bool("trace", false, "print each iteration as it happens")
 		dotOut   = flag.String("dot", "", "also write a Graphviz visualization to this file")
 		saveOut  = flag.String("save", "", "write the mined translation table to this file")
@@ -77,7 +78,7 @@ func main() {
 	var res *core.Result
 	switch *algo {
 	case "exact":
-		res = core.MineExact(d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer})
+		res = core.MineExact(d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer, Workers: *workers})
 	case "select", "greedy":
 		cands, err := core.MineCandidates(d, *minsup, 0)
 		if err != nil {
@@ -85,7 +86,7 @@ func main() {
 		}
 		fmt.Printf("candidates: %d closed two-view itemsets (minsup %d)\n", len(cands), *minsup)
 		if *algo == "select" {
-			res = core.MineSelect(d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer})
+			res = core.MineSelect(d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer, Workers: *workers})
 		} else {
 			res = core.MineGreedy(d, cands, core.GreedyOptions{MaxRules: *maxRules, Trace: tracer})
 		}

@@ -1,0 +1,3 @@
+module twoview
+
+go 1.24

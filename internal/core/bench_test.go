@@ -58,6 +58,30 @@ func BenchmarkBestRule(b *testing.B) {
 	}
 }
 
+// BenchmarkMineExact measures full exact mining end to end; allocs/op
+// tracks the scratch reuse of the DFS (itemset extension and per-depth
+// tidsets), and serial vs parallel the worker-pool overhead/speedup.
+func BenchmarkMineExact(b *testing.B) {
+	d := plantedDataset(b, 77)
+	for _, bench := range []struct {
+		name string
+		opt  ExactOptions
+	}{
+		{"serial", ExactOptions{Workers: 1}},
+		{"parallel", ExactOptions{}},
+		{"serial-nobounds", ExactOptions{Workers: 1, DisableRub: true, DisableQub: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := MineExact(d, bench.opt); res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTranslateRow(b *testing.B) {
 	d := plantedDataset(b, 79)
 	tab := &Table{Rules: []Rule{

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"twoview/internal/bitset"
@@ -21,6 +25,16 @@ import (
 // first iterations and lose power once per-rule gains shrink, so exact
 // search is "most attractive when one is only interested in few rules";
 // MaxRules caps the iterations for that use.
+//
+// The best-rule search parallelizes naturally: within one call the state
+// is read-only, so the seed singleton pairs and the top-level branches of
+// the depth-first search are distributed over a worker pool. Workers share
+// the incumbent best gain through an atomic, so the rub/qub pruning
+// threshold tightens across all of them as soon as any worker improves it.
+// Each worker keeps its own champion rule under the (gain, Rule.Compare)
+// total order and the champions are merged under the same order, making
+// the result independent of the number of workers and of scheduling (see
+// the note on tie pruning at threshold()).
 
 // ExactOptions configures MineExact.
 type ExactOptions struct {
@@ -34,6 +48,18 @@ type ExactOptions struct {
 	// pairs; results are identical. Used by the ablation benchmarks.
 	DisableRub bool
 	DisableQub bool
+	// Workers sets the number of goroutines searching for the best rule
+	// in each iteration; 0 means GOMAXPROCS, 1 disables parallelism.
+	// Results are identical regardless of the value.
+	Workers int
+}
+
+// workerCount resolves the Workers option against the machine.
+func (opt ExactOptions) workerCount() int {
+	if opt.Workers > 0 {
+		return opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // MineExact runs TRANSLATOR-EXACT on d and returns the induced translation
@@ -65,15 +91,42 @@ type joinedItem struct {
 	pot  float64     // ordering potential Σ_{t∈supp} tub(t_opposite)
 }
 
-// exactSearch carries the state of one best-rule search.
+// sharedGain publishes the incumbent best gain across workers as the bit
+// pattern of a float64 in an atomic. Incumbent gains are never negative
+// (the search starts from 0 and only improves), so the unsigned bit
+// patterns order exactly like the values they encode.
+type sharedGain struct{ bits atomic.Uint64 }
+
+func (g *sharedGain) load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// raise lifts the published gain to at least v (monotone CAS max).
+func (g *sharedGain) raise(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// exactSearch carries the state of one best-rule search (one worker's
+// share of it when running in parallel).
 type exactSearch struct {
 	s     *State
 	opt   ExactOptions
 	items []joinedItem
 
-	// Per-depth scratch bitsets, so the DFS allocates only when it goes
-	// deeper than ever before.
+	// shared is the cross-worker incumbent gain; nil when serial.
+	shared *sharedGain
+
+	// Per-depth scratch, so the DFS allocates only when it goes deeper
+	// than ever before.
 	levels []levelBufs
+	// Scratch singletons for the seed pass.
+	sx, sy [1]int
 
 	best     Rule
 	bestGain float64
@@ -81,8 +134,9 @@ type exactSearch struct {
 }
 
 type levelBufs struct {
-	xy   *bitset.Set // joint support of the extended pair
-	side *bitset.Set // per-view support of the extended side
+	xy   *bitset.Set     // joint support of the extended pair
+	side *bitset.Set     // per-view support of the extended side
+	set  itemset.Itemset // the extended itemset at this depth
 }
 
 func (se *exactSearch) bufs(depth int) *levelBufs {
@@ -91,6 +145,19 @@ func (se *exactSearch) bufs(depth int) *levelBufs {
 		se.levels = append(se.levels, levelBufs{xy: bitset.New(n), side: bitset.New(n)})
 	}
 	return &se.levels[depth]
+}
+
+// threshold returns the tightest known incumbent gain, against which the
+// rub/qub bounds prune. Pruning is strict (bound < threshold): a subtree
+// whose bound merely equals the incumbent may still hold an equal-gain
+// rule that wins the Rule.Compare tie-break, and visiting those keeps the
+// reported rule identical whether the threshold was raised by this worker
+// or another one — i.e. independent of worker count and scheduling.
+func (se *exactSearch) threshold() float64 {
+	if se.shared == nil {
+		return se.bestGain
+	}
+	return se.shared.load()
 }
 
 // bestRule returns argmax_r Δ_{D,T}(r) over all rules whose X∪Y occurs in
@@ -126,13 +193,84 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 		return ia.id < ib.id
 	})
 
-	se := &exactSearch{s: s, opt: opt, items: items}
-	se.seed()
 	n := d.Size()
 	full := bitset.New(n)
 	full.Fill()
-	se.dfs(nil, nil, full, full.Clone(), full.Clone(), 0, 0, 0, 0)
-	return se.best, se.bestGain, se.found
+	fullY, fullXY := full.Clone(), full.Clone()
+
+	workers := opt.workerCount()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		se := &exactSearch{s: s, opt: opt, items: items}
+		se.seed()
+		se.dfs(nil, nil, full, fullY, fullXY, 0, 0, 0, 0)
+		return se.best, se.bestGain, se.found
+	}
+	return bestRuleParallel(s, opt, items, full, fullY, fullXY, workers)
+}
+
+// bestRuleParallel distributes the seed pairs and the top-level DFS
+// branches over workers pulling from shared atomic counters (dynamic
+// assignment — branch costs are heavily skewed toward early items). The
+// root tidsets are only read, so all workers share them; every worker has
+// its own scratch stacks and champion. The final merge under the
+// (gain, Rule.Compare) total order makes the result bit-identical to the
+// serial search.
+func bestRuleParallel(s *State, opt ExactOptions, items []joinedItem, full, fullY, fullXY *bitset.Set, workers int) (Rule, float64, bool) {
+	lefts, rights := splitViews(items)
+	shared := new(sharedGain)
+	searches := make([]*exactSearch, workers)
+	var seedNext, branchNext atomic.Int64
+	var wg sync.WaitGroup
+	for w := range searches {
+		se := &exactSearch{s: s, opt: opt, items: items, shared: shared}
+		searches[w] = se
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Seed pass: each task is one left singleton crossed with
+			// every right singleton. Seeding first gives every worker a
+			// competitive pruning threshold before any subtree descent.
+			for {
+				i := int(seedNext.Add(1)) - 1
+				if i >= len(lefts) {
+					break
+				}
+				for _, ri := range rights {
+					if !lefts[i].col.Intersects(ri.col) {
+						continue // the pair must occur in the data
+					}
+					se.seedPair(lefts[i], ri)
+				}
+			}
+			// DFS pass: each task is one top-level branch (extend the
+			// empty pair with item k, then search positions > k).
+			for {
+				k := int(branchNext.Add(1)) - 1
+				if k >= len(items) {
+					break
+				}
+				se.extend(nil, nil, full, fullY, fullXY, k, 0, 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var best Rule
+	bestGain := 0.0
+	found := false
+	for _, se := range searches {
+		if !se.found {
+			continue
+		}
+		if !found || se.bestGain > bestGain ||
+			(se.bestGain == bestGain && se.best.Compare(best) < 0) {
+			best, bestGain, found = se.best, se.bestGain, true
+		}
+	}
+	return best, bestGain, found
 }
 
 // seed evaluates every occurring singleton pair ({i}, {j}) before the
@@ -140,25 +278,38 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 // against it is sound — it just starts the search with a competitive
 // threshold instead of zero, which the tub-based item order alone cannot
 // guarantee. Exactness is unaffected: the DFS still visits every
-// candidate subtree whose bound exceeds the incumbent.
+// candidate subtree whose bound reaches the incumbent.
 func (se *exactSearch) seed() {
-	var lefts, rights []*joinedItem
-	for i := range se.items {
-		if se.items[i].view == dataset.Left {
-			lefts = append(lefts, &se.items[i])
-		} else {
-			rights = append(rights, &se.items[i])
-		}
-	}
+	lefts, rights := splitViews(se.items)
 	for _, li := range lefts {
 		for _, ri := range rights {
 			if !li.col.Intersects(ri.col) {
 				continue // the pair must occur in the data
 			}
-			se.evaluate(itemset.New(li.id), itemset.New(ri.id),
-				li.col, ri.col, li.len, ri.len)
+			se.seedPair(li, ri)
 		}
 	}
+}
+
+// splitViews partitions the search items by view, preserving the global
+// potential order within each side.
+func splitViews(items []joinedItem) (lefts, rights []*joinedItem) {
+	for i := range items {
+		if items[i].view == dataset.Left {
+			lefts = append(lefts, &items[i])
+		} else {
+			rights = append(rights, &items[i])
+		}
+	}
+	return lefts, rights
+}
+
+// seedPair evaluates the singleton pair ({li}, {ri}) through per-search
+// scratch itemsets (evaluate clones before keeping anything).
+func (se *exactSearch) seedPair(li, ri *joinedItem) {
+	se.sx[0], se.sy[0] = li.id, ri.id
+	se.evaluate(itemset.Itemset(se.sx[:]), itemset.Itemset(se.sy[:]),
+		li.col, ri.col, li.len, ri.len)
 }
 
 // dfs extends the pair (x, y) with items at positions ≥ start in the
@@ -168,59 +319,74 @@ func (se *exactSearch) seed() {
 // recursion level used for scratch buffers.
 func (se *exactSearch) dfs(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, start, depth int, lenX, lenY float64) {
 	for k := start; k < len(se.items); k++ {
-		it := se.items[k]
-		bufs := se.bufs(depth)
-		// The joint support of the extended pair.
-		childXY := bufs.xy
-		bitset.IntersectInto(childXY, tidXY, it.col)
-		if childXY.Empty() {
-			continue // X∪Y must occur in the data (§5.2)
-		}
-		var cx, cy itemset.Itemset
-		var ctX, ctY *bitset.Set
-		clenX, clenY := lenX, lenY
-		if it.view == dataset.Left {
-			cx, cy = insertItem(x, it.id), y
-			ctX = bufs.side
-			bitset.IntersectInto(ctX, tidX, it.col)
-			ctY = tidY
-			clenX += it.len
-		} else {
-			cx, cy = x, insertItem(y, it.id)
-			ctX = tidX
-			ctY = bufs.side
-			bitset.IntersectInto(ctY, tidY, it.col)
-			clenY += it.len
-		}
-		if !se.opt.DisableRub {
-			// rub(X◇Y) = Σ_{X⊆tL} tub(tR) + Σ_{Y⊆tR} tub(tL) − L(X↔Y),
-			// antitone under extension, so it prunes the whole subtree.
-			rub := se.s.SumTub(dataset.Right, ctX) +
-				se.s.SumTub(dataset.Left, ctY) - (clenX + clenY + 1)
-			if rub <= se.bestGain {
-				continue
-			}
-		}
-		if len(cx) > 0 && len(cy) > 0 {
-			se.evaluate(cx, cy, ctX, ctY, clenX, clenY)
-		}
-		se.dfs(cx, cy, ctX, ctY, childXY, k+1, depth+1, clenX, clenY)
+		se.extend(x, y, tidX, tidY, tidXY, k, depth, lenX, lenY)
 	}
 }
 
-// insertItem returns s ∪ {x} in canonical order (x may fall anywhere,
-// since the global search order mixes the two views arbitrarily).
-func insertItem(s itemset.Itemset, x int) itemset.Itemset {
-	i := sort.SearchInts(s, x)
-	out := make(itemset.Itemset, 0, len(s)+1)
-	out = append(out, s[:i]...)
-	out = append(out, x)
-	out = append(out, s[i:]...)
-	return out
+// extend grows the pair (x, y) by the single item at position k, evaluates
+// the result when both sides are non-empty, and recurses into extensions
+// at positions > k.
+func (se *exactSearch) extend(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, k, depth int, lenX, lenY float64) {
+	it := se.items[k]
+	bufs := se.bufs(depth)
+	// The joint support of the extended pair.
+	childXY := bufs.xy
+	bitset.IntersectInto(childXY, tidXY, it.col)
+	if childXY.Empty() {
+		return // X∪Y must occur in the data (§5.2)
+	}
+	// The extended side lives in this depth's scratch itemset: siblings at
+	// the same depth overwrite it after the subtree below has returned,
+	// and evaluate clones before keeping a rule.
+	bufs.set = insertItemInto(bufs.set, x, y, it)
+	var cx, cy itemset.Itemset
+	var ctX, ctY *bitset.Set
+	clenX, clenY := lenX, lenY
+	if it.view == dataset.Left {
+		cx, cy = bufs.set, y
+		ctX = bufs.side
+		bitset.IntersectInto(ctX, tidX, it.col)
+		ctY = tidY
+		clenX += it.len
+	} else {
+		cx, cy = x, bufs.set
+		ctX = tidX
+		ctY = bufs.side
+		bitset.IntersectInto(ctY, tidY, it.col)
+		clenY += it.len
+	}
+	if !se.opt.DisableRub {
+		// rub(X◇Y) = Σ_{X⊆tL} tub(tR) + Σ_{Y⊆tR} tub(tL) − L(X↔Y),
+		// antitone under extension, so it prunes the whole subtree.
+		rub := se.s.SumTub(dataset.Right, ctX) +
+			se.s.SumTub(dataset.Left, ctY) - (clenX + clenY + 1)
+		if rub < se.threshold() {
+			return
+		}
+	}
+	if len(cx) > 0 && len(cy) > 0 {
+		se.evaluate(cx, cy, ctX, ctY, clenX, clenY)
+	}
+	se.dfs(cx, cy, ctX, ctY, childXY, k+1, depth+1, clenX, clenY)
+}
+
+// insertItemInto writes (x or y) ∪ {it.id} into dst, reusing its capacity:
+// the side matching it.view is extended (it.id may fall anywhere, since
+// the global search order mixes the two views arbitrarily).
+func insertItemInto(dst itemset.Itemset, x, y itemset.Itemset, it joinedItem) itemset.Itemset {
+	s := x
+	if it.view == dataset.Right {
+		s = y
+	}
+	i := sort.SearchInts(s, it.id)
+	dst = append(dst[:0], s[:i]...)
+	dst = append(dst, it.id)
+	return append(dst, s[i:]...)
 }
 
 // evaluate computes the exact gains of the three rules formed by (x, y)
-// and updates the incumbent.
+// and updates the incumbent. x and y may live in scratch buffers; the
+// champion is stored as a clone.
 func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, lenX, lenY float64) {
 	s := se.s
 	lenBi := lenX + lenY + 1
@@ -229,7 +395,7 @@ func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, le
 		// qub(X◇Y) = |supp(X)|·L(Y) + |supp(Y)|·L(X) − L(X↔Y) bounds all
 		// three directions; skip the exact gain computation if hopeless.
 		qub := float64(tidX.Count())*lenY + float64(tidY.Count())*lenX - lenBi
-		if qub <= se.bestGain {
+		if qub < se.threshold() {
 			return
 		}
 	}
@@ -249,6 +415,9 @@ func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, le
 			se.best = Rule{X: x.Clone(), Dir: cand.dir, Y: y.Clone()}
 			se.bestGain = cand.gain
 			se.found = true
+			if se.shared != nil {
+				se.shared.raise(cand.gain)
+			}
 		}
 	}
 }

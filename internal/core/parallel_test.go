@@ -30,6 +30,71 @@ func TestMineSelectParallelDeterminism(t *testing.T) {
 	}
 }
 
+// Parallel best-rule search must not change results: EXACT with one
+// worker and with many workers produce bit-identical tables, per-rule
+// gains, and final scores.
+func TestMineExactParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{31, 33, 35} {
+		d := plantedDataset(t, seed)
+		serial := MineExact(d, ExactOptions{Workers: 1})
+		if serial.Table.Size() == 0 {
+			t.Fatalf("seed %d: serial found no rules", seed)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par := MineExact(d, ExactOptions{Workers: workers})
+			if par.Table.Size() != serial.Table.Size() {
+				t.Fatalf("seed %d workers=%d: %d rules, serial %d",
+					seed, workers, par.Table.Size(), serial.Table.Size())
+			}
+			for i := range serial.Table.Rules {
+				if par.Table.Rules[i].Compare(serial.Table.Rules[i]) != 0 {
+					t.Fatalf("seed %d workers=%d: rule %d differs: %v vs %v",
+						seed, workers, i, par.Table.Rules[i], serial.Table.Rules[i])
+				}
+			}
+			for i := range serial.Iterations {
+				if par.Iterations[i].Gain != serial.Iterations[i].Gain {
+					t.Fatalf("seed %d workers=%d: gain %d differs: %v vs %v",
+						seed, workers, i, par.Iterations[i].Gain, serial.Iterations[i].Gain)
+				}
+			}
+			if par.State.Score() != serial.State.Score() {
+				t.Fatalf("seed %d workers=%d: score %v, serial %v",
+					seed, workers, par.State.Score(), serial.State.Score())
+			}
+		}
+	}
+}
+
+// The parallel search stays exact with the pruning bounds disabled (the
+// ablation configurations walk the same enumeration).
+func TestMineExactParallelNoBounds(t *testing.T) {
+	d := plantedDataset(t, 34)
+	serial := MineExact(d, ExactOptions{Workers: 1, MaxRules: 3})
+	par := MineExact(d, ExactOptions{Workers: 4, MaxRules: 3, DisableRub: true, DisableQub: true})
+	if par.Table.Size() != serial.Table.Size() {
+		t.Fatalf("%d rules, serial %d", par.Table.Size(), serial.Table.Size())
+	}
+	for i := range serial.Table.Rules {
+		if par.Table.Rules[i].Compare(serial.Table.Rules[i]) != 0 {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+	if par.State.Score() != serial.State.Score() {
+		t.Fatal("score differs")
+	}
+}
+
+// Default (Workers=0 → GOMAXPROCS) matches the serial result for EXACT.
+func TestMineExactDefaultWorkers(t *testing.T) {
+	d := plantedDataset(t, 36)
+	a := MineExact(d, ExactOptions{Workers: 1, MaxRules: 4})
+	b := MineExact(d, ExactOptions{MaxRules: 4})
+	if a.Table.Size() != b.Table.Size() || a.State.Score() != b.State.Score() {
+		t.Fatal("default workers changed the result")
+	}
+}
+
 // Default (Workers=0 → GOMAXPROCS) matches the serial result too.
 func TestMineSelectDefaultWorkers(t *testing.T) {
 	d := plantedDataset(t, 32)

@@ -156,6 +156,9 @@ func TestRunTable1Smoke(t *testing.T) {
 }
 
 func TestRunTable2SmallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 2 (small) reproduction")
+	}
 	// Exhaustive exact search on scaled-down versions of the narrow
 	// small-group datasets; wide datasets (wine: 68 items) make EXACT
 	// slow exactly as in the paper and belong to cmd/experiments, not
@@ -184,6 +187,9 @@ func TestRunTable2SmallSmoke(t *testing.T) {
 }
 
 func TestRunTable2LargeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 2 (large) reproduction")
+	}
 	var b strings.Builder
 	rows, err := RunTable2(&b, 0.02, false)
 	if err != nil {
@@ -200,6 +206,9 @@ func TestRunTable2LargeSmoke(t *testing.T) {
 }
 
 func TestRunTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 3 reproduction")
+	}
 	p, err := synth.ProfileByName("house")
 	if err != nil {
 		t.Fatal(err)
@@ -232,6 +241,9 @@ func TestRunTable3Smoke(t *testing.T) {
 }
 
 func TestRunFig2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig. 2 reproduction")
+	}
 	var b strings.Builder
 	iters, err := RunFig2(&b, 0.3)
 	if err != nil {
@@ -266,6 +278,9 @@ func TestRunFig3Smoke(t *testing.T) {
 }
 
 func TestRunExampleRulesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example-rule reproduction")
+	}
 	var b strings.Builder
 	if err := RunExampleRules(&b, "house", 0.3); err != nil {
 		t.Fatal(err)
@@ -295,6 +310,9 @@ func TestRunFig6And7Smoke(t *testing.T) {
 }
 
 func TestRunRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery reproduction")
+	}
 	p, err := synth.ProfileByName("car")
 	if err != nil {
 		t.Fatal(err)

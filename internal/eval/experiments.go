@@ -19,6 +19,12 @@ import (
 // accept a scale factor that shrinks the datasets proportionally, so the
 // full suite stays tractable on one machine; shapes are preserved.
 
+// Workers is the worker-pool size every runner passes to the mining
+// algorithms: 0 means GOMAXPROCS, 1 forces serial execution. Results are
+// identical regardless (the miners are deterministic in the worker
+// count); cmd/experiments exposes it as -workers.
+var Workers int
+
 // Gen materializes a profile at the given scale.
 func Gen(p synth.Profile, scale float64) (*dataset.Dataset, []core.Rule, error) {
 	if scale > 0 && scale != 1 {
@@ -79,7 +85,7 @@ type MethodCells struct {
 func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCells, int, error) {
 	var out []MethodCells
 	if withExact {
-		res := core.MineExact(d, core.ExactOptions{})
+		res := core.MineExact(d, core.ExactOptions{Workers: Workers})
 		m := FromResult(d, res)
 		out = append(out, MethodCells{"T-EXACT", m.NumRules, m.LPct, m.Runtime})
 	}
@@ -93,7 +99,7 @@ func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCel
 		name string
 		k    int
 	}{{"T-SELECT(1)", 1}, {"T-SELECT(25)", 25}} {
-		res := core.MineSelect(d, cands, core.SelectOptions{K: cfg.k})
+		res := core.MineSelect(d, cands, core.SelectOptions{K: cfg.k, Workers: Workers})
 		m := FromResult(d, res)
 		out = append(out, MethodCells{cfg.name, m.NumRules, m.LPct, m.Runtime + candTime})
 	}
@@ -187,7 +193,7 @@ func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Ro
 		if err != nil {
 			return nil, err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1})
+		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
 		m := FromResult(d, res)
 		m.Runtime = time.Since(start)
 		rows = append(rows, Table3Row{p.Name, "TRANSLATOR", m, ""})
@@ -268,7 +274,7 @@ func RunFig2(w io.Writer, scale float64) ([]core.IterationStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1})
+	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
 	t := NewTextTable("iter", "|U_L|", "|U_R|", "|E_L|", "|E_R|",
 		"L(T)", "L(D_L→R|T)", "L(D_L←R|T)", "L(D_L↔R,T)")
 	base := res.State.Baseline()

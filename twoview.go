@@ -124,7 +124,10 @@ func WriteDataset(w io.Writer, d *Dataset) error { return dataset.Write(w, d) }
 func WriteDatasetFile(path string, d *Dataset) error { return dataset.WriteFile(path, d) }
 
 // MineExact runs TRANSLATOR-EXACT (parameter-free, optimal rule per
-// iteration; for datasets with moderate numbers of items).
+// iteration; for datasets with moderate numbers of items). The
+// branch-and-bound search parallelizes across ExactOptions.Workers
+// goroutines (0 = GOMAXPROCS, 1 = serial) with results independent of the
+// worker count.
 func MineExact(d *Dataset, opt ExactOptions) *Result { return core.MineExact(d, opt) }
 
 // MineCandidates mines the closed frequent two-view itemsets that serve
