@@ -32,7 +32,7 @@ func benchData(b *testing.B, name string, scale float64) (*twoview.Dataset, []tw
 	if err != nil {
 		b.Fatal(err)
 	}
-	cands, err := core.MineCandidates(d, sp.MinSupport, 0)
+	cands, err := core.MineCandidates(d, sp.MinSupport, 0, core.ParallelOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func BenchmarkTable2CandidateMining(b *testing.B) {
 	d, _, sp := benchData(b, "house", 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.MineCandidates(d, sp.MinSupport, 0); err != nil {
+		if _, err := core.MineCandidates(d, sp.MinSupport, 0, core.ParallelOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -282,9 +282,9 @@ func BenchmarkMineExact(b *testing.B) {
 		name string
 		opt  twoview.ExactOptions
 	}{
-		{"serial", twoview.ExactOptions{MaxRules: 2, Workers: 1}},
+		{"serial", twoview.ExactOptions{MaxRules: 2, ParallelOptions: twoview.Parallel(1)}},
 		{"parallel", twoview.ExactOptions{MaxRules: 2}},
-		{"serial-nobounds", twoview.ExactOptions{MaxRules: 2, Workers: 1, DisableRub: true, DisableQub: true}},
+		{"serial-nobounds", twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true, ParallelOptions: twoview.Parallel(1)}},
 		{"parallel-nobounds", twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {

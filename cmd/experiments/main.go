@@ -82,7 +82,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.1, "dataset scale factor; 1.0 = paper-sized")
 		out     = flag.String("out", "", "directory for per-experiment output files (default: stdout only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
-		workers = flag.Int("workers", 0, "mining worker goroutines (0 = GOMAXPROCS, 1 = serial); results are identical")
+		workers = flag.Int("workers", 0, "worker goroutines for mining and candidate generation (0 = GOMAXPROCS, 1 = serial); results are identical")
 	)
 	flag.Parse()
 	eval.Workers = *workers

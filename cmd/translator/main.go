@@ -30,7 +30,7 @@ func main() {
 		k        = flag.Int("k", 1, "rules per iteration for select")
 		minsup   = flag.Int("minsup", 1, "minimum candidate support for select/greedy")
 		maxRules = flag.Int("max-rules", 0, "stop after this many rules (0 = MDL stopping only)")
-		workers  = flag.Int("workers", 0, "worker goroutines for exact/select search (0 = GOMAXPROCS, 1 = serial); results are identical")
+		workers  = flag.Int("workers", 0, "worker goroutines for search and candidate mining (0 = GOMAXPROCS, 1 = serial); results are identical")
 		trace    = flag.Bool("trace", false, "print each iteration as it happens")
 		dotOut   = flag.String("dot", "", "also write a Graphviz visualization to this file")
 		saveOut  = flag.String("save", "", "write the mined translation table to this file")
@@ -75,20 +75,21 @@ func main() {
 		}
 	}
 
+	par := core.Parallel(*workers)
 	var res *core.Result
 	switch *algo {
 	case "exact":
-		res = core.MineExact(d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer, Workers: *workers})
+		res = core.MineExact(d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
 	case "select", "greedy":
-		cands, err := core.MineCandidates(d, *minsup, 0)
+		cands, err := core.MineCandidates(d, *minsup, 0, par)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("candidates: %d closed two-view itemsets (minsup %d)\n", len(cands), *minsup)
 		if *algo == "select" {
-			res = core.MineSelect(d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer, Workers: *workers})
+			res = core.MineSelect(d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
 		} else {
-			res = core.MineGreedy(d, cands, core.GreedyOptions{MaxRules: *maxRules, Trace: tracer})
+			res = core.MineGreedy(d, cands, core.GreedyOptions{MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
 		}
 	default:
 		log.Fatalf("unknown algorithm %q", *algo)

@@ -37,7 +37,7 @@ func ExampleApply() {
 	for i := 0; i < 4; i++ {
 		d.AddRow(nil, nil)
 	}
-	cands, _ := twoview.MineCandidates(d, 1, 0)
+	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
 
 	var stored bytes.Buffer

@@ -32,7 +32,7 @@ func main() {
 	fmt.Printf("candidates: %d, profile items: %d, opinion items: %d\n\n",
 		st.Size, st.ItemsL, st.ItemsR)
 
-	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000)
+	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

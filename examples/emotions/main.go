@@ -35,7 +35,7 @@ func main() {
 		st.Size, st.ItemsL, st.ItemsR)
 	fmt.Printf("planted ground-truth associations: %d\n\n", len(planted))
 
-	cands, minsup, err := twoview.MineCandidatesCapped(d, profile.MinSupport, 100_000)
+	cands, minsup, err := twoview.MineCandidatesCapped(d, profile.MinSupport, 100_000, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

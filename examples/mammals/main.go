@@ -30,7 +30,7 @@ func main() {
 	st := d.Stats()
 	fmt.Printf("areas: %d, species: %d + %d\n\n", st.Size, st.ItemsL, st.ItemsR)
 
-	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000)
+	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

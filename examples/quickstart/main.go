@@ -42,7 +42,7 @@ func main() {
 
 	// TRANSLATOR-SELECT(1) and GREEDY work from closed frequent two-view
 	// itemset candidates.
-	cands, err := twoview.MineCandidates(d, 1, 0)
+	cands, err := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

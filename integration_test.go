@@ -171,7 +171,7 @@ func TestPipelineAllModules(t *testing.T) {
 	if len(truth) == 0 {
 		t.Fatal("no ground truth")
 	}
-	cands, err := twoview.MineCandidates(d, 2, 0)
+	cands, err := twoview.MineCandidates(d, 2, 0, twoview.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

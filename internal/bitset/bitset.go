@@ -169,6 +169,28 @@ func IntersectInto(dst, a, b *Set) {
 	}
 }
 
+// IntersectIntoSum sets dst = a ∩ b like IntersectInto and returns
+// Σ_{i ∈ dst} w[i], accumulated in ascending bit order — the same order
+// as ForEach, so the sum is bit-identical to iterating the intersection
+// after the fact. w must cover the set width. Fusing the intersection
+// with the weighted sum saves the hot search loops a second pass over
+// the words (the exact search's rub bound is a tub-weighted sum over
+// every freshly intersected tidset).
+func IntersectIntoSum(dst, a, b *Set, w []float64) float64 {
+	a.mustMatch(b)
+	a.mustMatch(dst)
+	total := 0.0
+	for i := range dst.words {
+		word := a.words[i] & b.words[i]
+		dst.words[i] = word
+		for word != 0 {
+			total += w[i*wordBits+bits.TrailingZeros64(word)]
+			word &= word - 1
+		}
+	}
+	return total
+}
+
 // IntersectCount returns |a ∩ b| without allocating.
 func IntersectCount(a, b *Set) int {
 	a.mustMatch(b)

@@ -67,15 +67,90 @@ func BenchmarkMineExact(b *testing.B) {
 		name string
 		opt  ExactOptions
 	}{
-		{"serial", ExactOptions{Workers: 1}},
+		{"serial", ExactOptions{ParallelOptions: Parallel(1)}},
 		{"parallel", ExactOptions{}},
-		{"serial-nobounds", ExactOptions{Workers: 1, DisableRub: true, DisableQub: true}},
+		{"serial-nobounds", ExactOptions{DisableRub: true, DisableQub: true, ParallelOptions: Parallel(1)}},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if res := MineExact(d, bench.opt); res.Table.Size() == 0 {
 					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineSelect measures full SELECT mining (scoring + re-check
+// rounds) serial vs parallel over a realistic candidate set.
+func BenchmarkMineSelect(b *testing.B) {
+	d := plantedDataset(b, 77)
+	cands, err := MineCandidates(d, 1, 0, Parallel(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		opt  SelectOptions
+	}{
+		{"serial", SelectOptions{K: 25, ParallelOptions: Parallel(1)}},
+		{"parallel", SelectOptions{K: 25}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := MineSelect(d, cands, bench.opt); res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineGreedy measures the single-pass filter serial vs the
+// speculative block-parallel version.
+func BenchmarkMineGreedy(b *testing.B) {
+	d := plantedDataset(b, 77)
+	cands, err := MineCandidates(d, 1, 0, Parallel(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		opt  GreedyOptions
+	}{
+		{"serial", GreedyOptions{ParallelOptions: Parallel(1)}},
+		{"parallel", GreedyOptions{}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := MineGreedy(d, cands, bench.opt); res.Table.Size() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineCandidates quantifies the parallel ECLAT walk (and the
+// parallel tidset materialization) against the serial baseline.
+func BenchmarkMineCandidates(b *testing.B) {
+	d := plantedDataset(b, 77)
+	for _, bench := range []struct {
+		name string
+		par  ParallelOptions
+	}{
+		{"serial", Parallel(1)},
+		{"parallel", ParallelOptions{}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cands, err := MineCandidates(d, 1, 0, bench.par)
+				if err != nil || len(cands) == 0 {
+					b.Fatalf("candidates: %v (%d)", err, len(cands))
 				}
 			}
 		})

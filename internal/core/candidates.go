@@ -5,6 +5,7 @@ import (
 	"twoview/internal/dataset"
 	"twoview/internal/itemset"
 	"twoview/internal/mine/eclat"
+	"twoview/internal/pool"
 )
 
 // Candidate is one candidate rule skeleton for TRANSLATOR-SELECT and
@@ -23,29 +24,31 @@ type Candidate struct {
 // minimum support and converts them into candidates, mirroring §5.3 ("all
 // itemsets Z with |supp(Z)| > minsup, Z ∩ I_L ≠ ∅ and Z ∩ I_R ≠ ∅",
 // restricted to closed sets as in §6.1). maxResults guards against
-// pattern explosion (0 = unbounded).
-func MineCandidates(d *dataset.Dataset, minSupport, maxResults int) ([]Candidate, error) {
+// pattern explosion (0 = unbounded). Both the ECLAT walk and the
+// per-candidate tidset materialization run on the internal/pool worker
+// pool sized by par; the result is identical for any worker count.
+func MineCandidates(d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
 	fis, err := eclat.Mine(d, eclat.Options{
 		MinSupport: minSupport,
 		Closed:     true,
 		TwoView:    true,
 		MaxResults: maxResults,
+		Workers:    par.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Candidate, 0, len(fis))
-	for _, fi := range fis {
-		x, y := eclat.Split(fi.Items, d.Items(dataset.Left))
-		out = append(out, Candidate{
+	nLeft := d.Items(dataset.Left)
+	return pool.MapOrdered(par.Workers, len(fis), func(i int) Candidate {
+		x, y := eclat.Split(fis[i].Items, nLeft)
+		return Candidate{
 			X:    x,
 			Y:    y,
-			Supp: fi.Supp,
+			Supp: fis[i].Supp,
 			TidX: d.SupportSet(dataset.Left, x),
 			TidY: d.SupportSet(dataset.Right, y),
-		})
-	}
-	return out, nil
+		}
+	}), nil
 }
 
 // MineCandidatesCapped mines candidates like MineCandidates but, instead
@@ -53,16 +56,16 @@ func MineCandidates(d *dataset.Dataset, minSupport, maxResults int) ([]Candidate
 // most maxResults candidates remain — the paper's protocol of fixing
 // minsup "such that the number of candidates remains manageable" (§6.1).
 // It returns the candidates and the effective minimum support.
-func MineCandidatesCapped(d *dataset.Dataset, minSupport, maxResults int) ([]Candidate, int, error) {
+func MineCandidatesCapped(d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
 	if minSupport < 1 {
 		minSupport = 1
 	}
 	if maxResults <= 0 {
-		cands, err := MineCandidates(d, minSupport, 0)
+		cands, err := MineCandidates(d, minSupport, 0, par)
 		return cands, minSupport, err
 	}
 	for {
-		cands, err := MineCandidates(d, minSupport, maxResults)
+		cands, err := MineCandidates(d, minSupport, maxResults, par)
 		if err == nil {
 			return cands, minSupport, nil
 		}

@@ -1,17 +1,14 @@
 package core
 
 import (
-	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"twoview/internal/bitset"
 	"twoview/internal/dataset"
 	"twoview/internal/itemset"
 	"twoview/internal/mdl"
+	"twoview/internal/pool"
 )
 
 // This file implements TRANSLATOR-EXACT (Algorithm 2): starting from the
@@ -28,13 +25,22 @@ import (
 //
 // The best-rule search parallelizes naturally: within one call the state
 // is read-only, so the seed singleton pairs and the top-level branches of
-// the depth-first search are distributed over a worker pool. Workers share
-// the incumbent best gain through an atomic, so the rub/qub pruning
-// threshold tightens across all of them as soon as any worker improves it.
-// Each worker keeps its own champion rule under the (gain, Rule.Compare)
-// total order and the champions are merged under the same order, making
-// the result independent of the number of workers and of scheduling (see
-// the note on tie pruning at threshold()).
+// the depth-first search are distributed over an internal/pool worker
+// pool. Workers share the incumbent best gain through a pool.Max, so the
+// rub/qub pruning threshold tightens across all of them as soon as any
+// worker improves it. Each worker keeps its own champion rule under the
+// (gain, Rule.Compare) total order and the champions are merged under the
+// same order, making the result independent of the number of workers and
+// of scheduling (see the note on tie pruning at threshold()).
+//
+// The rub bound rub(X◇Y) = Σ_{X⊆tL} tub(tR) + Σ_{Y⊆tR} tub(tL) − L(X↔Y)
+// is maintained incrementally across DFS levels: extending a pair changes
+// the support of only one side, so that side's tub sum is re-accumulated
+// while intersecting its tidset (bitset.IntersectIntoSum) and the other
+// side's sum is inherited from the parent node unchanged. The inherited
+// value was accumulated over the same tidset in the same ascending order,
+// so the bound — and therefore every pruning decision — is bit-identical
+// to recomputing both sums from scratch at each node.
 
 // ExactOptions configures MineExact.
 type ExactOptions struct {
@@ -48,18 +54,9 @@ type ExactOptions struct {
 	// pairs; results are identical. Used by the ablation benchmarks.
 	DisableRub bool
 	DisableQub bool
-	// Workers sets the number of goroutines searching for the best rule
-	// in each iteration; 0 means GOMAXPROCS, 1 disables parallelism.
-	// Results are identical regardless of the value.
-	Workers int
-}
-
-// workerCount resolves the Workers option against the machine.
-func (opt ExactOptions) workerCount() int {
-	if opt.Workers > 0 {
-		return opt.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	// ParallelOptions sets the worker-pool size for the per-iteration
+	// best-rule search; results are identical for any value.
+	ParallelOptions
 }
 
 // MineExact runs TRANSLATOR-EXACT on d and returns the induced translation
@@ -91,27 +88,6 @@ type joinedItem struct {
 	pot  float64     // ordering potential Σ_{t∈supp} tub(t_opposite)
 }
 
-// sharedGain publishes the incumbent best gain across workers as the bit
-// pattern of a float64 in an atomic. Incumbent gains are never negative
-// (the search starts from 0 and only improves), so the unsigned bit
-// patterns order exactly like the values they encode.
-type sharedGain struct{ bits atomic.Uint64 }
-
-func (g *sharedGain) load() float64 { return math.Float64frombits(g.bits.Load()) }
-
-// raise lifts the published gain to at least v (monotone CAS max).
-func (g *sharedGain) raise(v float64) {
-	for {
-		old := g.bits.Load()
-		if math.Float64frombits(old) >= v {
-			return
-		}
-		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			return
-		}
-	}
-}
-
 // exactSearch carries the state of one best-rule search (one worker's
 // share of it when running in parallel).
 type exactSearch struct {
@@ -120,7 +96,7 @@ type exactSearch struct {
 	items []joinedItem
 
 	// shared is the cross-worker incumbent gain; nil when serial.
-	shared *sharedGain
+	shared *pool.Max
 
 	// Per-depth scratch, so the DFS allocates only when it goes deeper
 	// than ever before.
@@ -157,12 +133,16 @@ func (se *exactSearch) threshold() float64 {
 	if se.shared == nil {
 		return se.bestGain
 	}
-	return se.shared.load()
+	return se.shared.Load()
 }
 
 // bestRule returns argmax_r Δ_{D,T}(r) over all rules whose X∪Y occurs in
 // the data, with a deterministic tie-break. ok is false when the dataset
-// admits no rule at all.
+// admits no rule at all. The search runs on an internal/pool worker pool
+// in two phases — singleton seeding, then one task per top-level DFS
+// branch (dynamic assignment: branch costs are heavily skewed toward
+// early items) — followed by a champion merge under the
+// (gain, Rule.Compare) total order.
 func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 	d := s.d
 	var items []joinedItem
@@ -198,70 +178,51 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 	full.Fill()
 	fullY, fullXY := full.Clone(), full.Clone()
 
-	workers := opt.workerCount()
-	if workers > len(items) {
-		workers = len(items)
+	// Root values of the incremental rub sums: both sides start at full
+	// support, so the sums cover every transaction of the target view.
+	var rootRX, rootLY float64
+	if !opt.DisableRub {
+		rootRX = s.SumTub(dataset.Right, full)
+		rootLY = s.SumTub(dataset.Left, full)
 	}
-	if workers <= 1 {
-		se := &exactSearch{s: s, opt: opt, items: items}
-		se.seed()
-		se.dfs(nil, nil, full, fullY, fullXY, 0, 0, 0, 0)
-		return se.best, se.bestGain, se.found
-	}
-	return bestRuleParallel(s, opt, items, full, fullY, fullXY, workers)
-}
 
-// bestRuleParallel distributes the seed pairs and the top-level DFS
-// branches over workers pulling from shared atomic counters (dynamic
-// assignment — branch costs are heavily skewed toward early items). The
-// root tidsets are only read, so all workers share them; every worker has
-// its own scratch stacks and champion. The final merge under the
-// (gain, Rule.Compare) total order makes the result bit-identical to the
-// serial search.
-func bestRuleParallel(s *State, opt ExactOptions, items []joinedItem, full, fullY, fullXY *bitset.Set, workers int) (Rule, float64, bool) {
 	lefts, rights := splitViews(items)
-	shared := new(sharedGain)
-	searches := make([]*exactSearch, workers)
-	var seedNext, branchNext atomic.Int64
-	var wg sync.WaitGroup
-	for w := range searches {
-		se := &exactSearch{s: s, opt: opt, items: items, shared: shared}
-		searches[w] = se
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Seed pass: each task is one left singleton crossed with
-			// every right singleton. Seeding first gives every worker a
-			// competitive pruning threshold before any subtree descent.
-			for {
-				i := int(seedNext.Add(1)) - 1
-				if i >= len(lefts) {
-					break
-				}
-				for _, ri := range rights {
-					if !lefts[i].col.Intersects(ri.col) {
-						continue // the pair must occur in the data
-					}
-					se.seedPair(lefts[i], ri)
-				}
-			}
-			// DFS pass: each task is one top-level branch (extend the
-			// empty pair with item k, then search positions > k).
-			for {
-				k := int(branchNext.Add(1)) - 1
-				if k >= len(items) {
-					break
-				}
-				se.extend(nil, nil, full, fullY, fullXY, k, 0, 0, 0)
-			}
-		}()
+	workers := opt.workerCount(len(items))
+	var shared *pool.Max
+	if workers > 1 {
+		shared = new(pool.Max)
 	}
-	wg.Wait()
+	p := pool.New(workers, func(int) *exactSearch {
+		return &exactSearch{s: s, opt: opt, items: items, shared: shared}
+	})
+	// Seed phase: each task is one left singleton crossed with every
+	// right singleton. The resulting incumbent is a true gain, so pruning
+	// against it is sound — it just starts the DFS with a competitive
+	// threshold instead of zero, which the tub-based item order alone
+	// cannot guarantee. Exactness is unaffected: the DFS still visits
+	// every candidate subtree whose bound reaches the incumbent.
+	p.Run(len(lefts), func(se *exactSearch, i int) {
+		for _, ri := range rights {
+			if !lefts[i].col.Intersects(ri.col) {
+				continue // the pair must occur in the data
+			}
+			se.seedPair(lefts[i], ri)
+		}
+	})
+	// DFS phase: each task is one top-level branch (extend the empty
+	// pair with item k, then search positions > k). The root tidsets are
+	// only read, so all workers share them.
+	p.Run(len(items), func(se *exactSearch, k int) {
+		se.extend(nil, nil, full, fullY, fullXY, k, 0, 0, 0, rootRX, rootLY)
+	})
 
+	// Champion merge under the same (gain, Rule.Compare) total order the
+	// workers use internally, so the result is bit-identical to the
+	// serial search.
 	var best Rule
 	bestGain := 0.0
 	found := false
-	for _, se := range searches {
+	for _, se := range p.States() {
 		if !se.found {
 			continue
 		}
@@ -271,24 +232,6 @@ func bestRuleParallel(s *State, opt ExactOptions, items []joinedItem, full, full
 		}
 	}
 	return best, bestGain, found
-}
-
-// seed evaluates every occurring singleton pair ({i}, {j}) before the
-// depth-first search. The resulting incumbent is a true gain, so pruning
-// against it is sound — it just starts the search with a competitive
-// threshold instead of zero, which the tub-based item order alone cannot
-// guarantee. Exactness is unaffected: the DFS still visits every
-// candidate subtree whose bound reaches the incumbent.
-func (se *exactSearch) seed() {
-	lefts, rights := splitViews(se.items)
-	for _, li := range lefts {
-		for _, ri := range rights {
-			if !li.col.Intersects(ri.col) {
-				continue // the pair must occur in the data
-			}
-			se.seedPair(li, ri)
-		}
-	}
 }
 
 // splitViews partitions the search items by view, preserving the global
@@ -315,18 +258,22 @@ func (se *exactSearch) seedPair(li, ri *joinedItem) {
 // dfs extends the pair (x, y) with items at positions ≥ start in the
 // global order. tidX and tidY are the supports of x and y within their
 // own views; tidXY is their intersection (the joint support of x ∪ y).
-// lenX and lenY carry L(x|D_L) and L(y|D_R) incrementally; depth is the
-// recursion level used for scratch buffers.
-func (se *exactSearch) dfs(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, start, depth int, lenX, lenY float64) {
+// lenX and lenY carry L(x|D_L) and L(y|D_R) incrementally; sumRX and
+// sumLY carry the rub partial sums Σ_{t∈tidX} tub_R(t) and
+// Σ_{t∈tidY} tub_L(t); depth is the recursion level used for scratch
+// buffers.
+func (se *exactSearch) dfs(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, start, depth int, lenX, lenY, sumRX, sumLY float64) {
 	for k := start; k < len(se.items); k++ {
-		se.extend(x, y, tidX, tidY, tidXY, k, depth, lenX, lenY)
+		se.extend(x, y, tidX, tidY, tidXY, k, depth, lenX, lenY, sumRX, sumLY)
 	}
 }
 
 // extend grows the pair (x, y) by the single item at position k, evaluates
 // the result when both sides are non-empty, and recurses into extensions
-// at positions > k.
-func (se *exactSearch) extend(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, k, depth int, lenX, lenY float64) {
+// at positions > k. Only one side's support shrinks, so its tub partial
+// sum is re-accumulated while intersecting (one fused pass) and the other
+// side's sum is inherited unchanged.
+func (se *exactSearch) extend(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, k, depth int, lenX, lenY, sumRX, sumLY float64) {
 	it := se.items[k]
 	bufs := se.bufs(depth)
 	// The joint support of the extended pair.
@@ -339,27 +286,36 @@ func (se *exactSearch) extend(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Se
 	// the same depth overwrite it after the subtree below has returned,
 	// and evaluate clones before keeping a rule.
 	bufs.set = insertItemInto(bufs.set, x, y, it)
+	useRub := !se.opt.DisableRub
 	var cx, cy itemset.Itemset
 	var ctX, ctY *bitset.Set
 	clenX, clenY := lenX, lenY
+	csumRX, csumLY := sumRX, sumLY
 	if it.view == dataset.Left {
 		cx, cy = bufs.set, y
 		ctX = bufs.side
-		bitset.IntersectInto(ctX, tidX, it.col)
+		if useRub {
+			csumRX = bitset.IntersectIntoSum(ctX, tidX, it.col, se.s.tub[dataset.Right])
+		} else {
+			bitset.IntersectInto(ctX, tidX, it.col)
+		}
 		ctY = tidY
 		clenX += it.len
 	} else {
 		cx, cy = x, bufs.set
 		ctX = tidX
 		ctY = bufs.side
-		bitset.IntersectInto(ctY, tidY, it.col)
+		if useRub {
+			csumLY = bitset.IntersectIntoSum(ctY, tidY, it.col, se.s.tub[dataset.Left])
+		} else {
+			bitset.IntersectInto(ctY, tidY, it.col)
+		}
 		clenY += it.len
 	}
-	if !se.opt.DisableRub {
+	if useRub {
 		// rub(X◇Y) = Σ_{X⊆tL} tub(tR) + Σ_{Y⊆tR} tub(tL) − L(X↔Y),
 		// antitone under extension, so it prunes the whole subtree.
-		rub := se.s.SumTub(dataset.Right, ctX) +
-			se.s.SumTub(dataset.Left, ctY) - (clenX + clenY + 1)
+		rub := csumRX + csumLY - (clenX + clenY + 1)
 		if rub < se.threshold() {
 			return
 		}
@@ -367,7 +323,7 @@ func (se *exactSearch) extend(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Se
 	if len(cx) > 0 && len(cy) > 0 {
 		se.evaluate(cx, cy, ctX, ctY, clenX, clenY)
 	}
-	se.dfs(cx, cy, ctX, ctY, childXY, k+1, depth+1, clenX, clenY)
+	se.dfs(cx, cy, ctX, ctY, childXY, k+1, depth+1, clenX, clenY, csumRX, csumLY)
 }
 
 // insertItemInto writes (x or y) ∪ {it.id} into dst, reusing its capacity:
@@ -416,7 +372,7 @@ func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, le
 			se.bestGain = cand.gain
 			se.found = true
 			if se.shared != nil {
-				se.shared.raise(cand.gain)
+				se.shared.Raise(cand.gain)
 			}
 		}
 	}

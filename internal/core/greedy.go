@@ -6,6 +6,7 @@ import (
 
 	"twoview/internal/dataset"
 	"twoview/internal/mdl"
+	"twoview/internal/pool"
 )
 
 // This file implements TRANSLATOR-GREEDY (§5.4): single-pass filtering in
@@ -13,6 +14,16 @@ import (
 // and then by support; each candidate is considered exactly once, the best
 // of its three rule instantiations is added if its gain is strictly
 // positive, and discarded candidates are never revisited.
+//
+// The pass is sequential by definition — every accepted rule changes the
+// state all later candidates are scored against — so it parallelizes by
+// speculation: candidates are scored against the current state in blocks
+// on the internal/pool worker pool, the block is walked serially, and on
+// the first accepted rule the not-yet-walked remainder of the block is
+// discarded and re-scored against the updated state. Every decision is
+// therefore made against exactly the state the serial pass would have
+// used, and since most candidates are rejected (their state-dependent
+// scores untouched by the rare accepts), most speculative work is kept.
 
 // GreedyOptions configures MineGreedy.
 type GreedyOptions struct {
@@ -20,6 +31,32 @@ type GreedyOptions struct {
 	MaxRules int
 	// Trace observes each added rule.
 	Trace TraceFunc
+	// ParallelOptions sets the worker-pool size for speculative
+	// candidate scoring; results are identical for any value.
+	ParallelOptions
+}
+
+// The speculation window grows geometrically from greedyMinBlock to
+// greedyMaxBlock: each accepted rule invalidates the rest of its block,
+// and accepts cluster at the head of the length/support-descending
+// candidate order, so the window restarts small after every accept and
+// doubles across accept-free blocks. Window boundaries depend only on
+// the accept positions — which are schedule-independent — never on the
+// worker count, so the scored values (and all decisions) are identical
+// for any parallelism; the sizes only trade re-scored waste on accept
+// against scheduling granularity.
+const (
+	greedyMinBlock = 8
+	greedyMaxBlock = 512
+)
+
+// greedyScore is one candidate's speculative evaluation: the best of its
+// three rule instantiations, or ok=false when the candidate is discarded
+// (qub hopeless or no strictly positive gain).
+type greedyScore struct {
+	rule Rule
+	gain float64
+	ok   bool
 }
 
 // MineGreedy runs TRANSLATOR-GREEDY over the given candidates.
@@ -48,34 +85,77 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		return ra.Compare(rb) < 0
 	})
 
-	for _, ci := range order {
+	// Speculation only pays when there are workers to keep busy: with a
+	// single worker the lazy walk below scores each candidate exactly
+	// once at its turn, which strictly dominates scoring ahead and
+	// discarding on accept. Results are identical either way — every
+	// decision is made against the same state in the same order.
+	speculate := opt.workerCount(len(order)) > 1
+	pos, block := 0, greedyMinBlock
+	for pos < len(order) {
 		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 			break
 		}
-		c := &cands[ci]
-		if s.Qub(c.X, c.Y, c.TidX.Count(), c.TidY.Count()) <= gainEpsilon {
-			continue
+		end := pos + block
+		if end > len(order) {
+			end = len(order)
 		}
-		gainF := s.gainDir(dataset.Left, c.TidX, c.Y)
-		gainB := s.gainDir(dataset.Right, c.TidY, c.X)
-		lenUni := coder.RuleLen(c.X, c.Y, false)
-		lenBi := coder.RuleLen(c.X, c.Y, true)
-
-		best := Rule{X: c.X, Dir: Forward, Y: c.Y}
-		bestGain := gainF - lenUni
-		if g := gainB - lenUni; g > bestGain {
-			best, bestGain = Rule{X: c.X, Dir: Backward, Y: c.Y}, g
+		// Speculatively score the block against the current state.
+		var scores []greedyScore
+		if speculate {
+			scores = pool.MapOrdered(opt.Workers, end-pos, func(i int) greedyScore {
+				return scoreGreedyCandidate(s, &cands[order[pos+i]])
+			})
 		}
-		if g := gainF + gainB - lenBi; g > bestGain {
-			best, bestGain = Rule{X: c.X, Dir: Both, Y: c.Y}, g
+		// Serial walk: the first accepted rule invalidates the remaining
+		// speculative scores (the state changed), so the walk restarts
+		// right after it with a fresh, minimum-size block.
+		next := end
+		block = min(block*2, greedyMaxBlock)
+		for j := pos; j < end; j++ {
+			var sc greedyScore
+			if speculate {
+				sc = scores[j-pos]
+			} else {
+				sc = scoreGreedyCandidate(s, &cands[order[j]])
+			}
+			if !sc.ok {
+				continue // discarded and never considered again
+			}
+			s.AddRule(sc.rule)
+			res.record(s, sc.rule, sc.gain, opt.Trace)
+			next = j + 1
+			block = greedyMinBlock
+			break
 		}
-		if bestGain <= gainEpsilon {
-			continue // discarded and never considered again
-		}
-		s.AddRule(best)
-		res.record(s, best, bestGain, opt.Trace)
+		pos = next
 	}
 	res.Table = s.Table()
 	res.Runtime = time.Since(start)
 	return res
+}
+
+// scoreGreedyCandidate evaluates one candidate against the current state:
+// the single-pass filter's per-candidate body.
+func scoreGreedyCandidate(s *State, c *Candidate) greedyScore {
+	if s.Qub(c.X, c.Y, c.TidX.Count(), c.TidY.Count()) <= gainEpsilon {
+		return greedyScore{}
+	}
+	gainF := s.gainDir(dataset.Left, c.TidX, c.Y)
+	gainB := s.gainDir(dataset.Right, c.TidY, c.X)
+	lenUni := s.coder.RuleLen(c.X, c.Y, false)
+	lenBi := s.coder.RuleLen(c.X, c.Y, true)
+
+	best := Rule{X: c.X, Dir: Forward, Y: c.Y}
+	bestGain := gainF - lenUni
+	if g := gainB - lenUni; g > bestGain {
+		best, bestGain = Rule{X: c.X, Dir: Backward, Y: c.Y}, g
+	}
+	if g := gainF + gainB - lenBi; g > bestGain {
+		best, bestGain = Rule{X: c.X, Dir: Both, Y: c.Y}, g
+	}
+	if bestGain <= gainEpsilon {
+		return greedyScore{}
+	}
+	return greedyScore{rule: best, gain: bestGain, ok: true}
 }

@@ -195,7 +195,7 @@ func TestMineExactTrace(t *testing.T) {
 
 func TestMineSelectBasics(t *testing.T) {
 	d := plantedDataset(t, 8)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestMineSelectBasics(t *testing.T) {
 
 func TestMineSelectKBatches(t *testing.T) {
 	d := plantedDataset(t, 9)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestMineSelectOverlapFilter(t *testing.T) {
 	// boundaries: instead, simply check the first round: run with
 	// MaxRules equal to what one round can add and validate disjointness.
 	d := plantedDataset(t, 10)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestMineSelectOverlapFilter(t *testing.T) {
 
 func TestMineGreedyBasics(t *testing.T) {
 	d := plantedDataset(t, 11)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestMinersScoreConsistency(t *testing.T) {
 	// For every miner, the recorded final score must equal an independent
 	// EvaluateTable replay of the mined table.
 	d := plantedDataset(t, 12)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestMinersScoreConsistency(t *testing.T) {
 
 func TestMineCandidatesRespectsMinSupport(t *testing.T) {
 	d := plantedDataset(t, 13)
-	cands, err := MineCandidates(d, 30, 0)
+	cands, err := MineCandidates(d, 30, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestMineCandidatesRespectsMinSupport(t *testing.T) {
 			t.Fatal("per-side support below joint support")
 		}
 	}
-	if _, err := MineCandidates(d, 1, 2); err == nil {
+	if _, err := MineCandidates(d, 1, 2, ParallelOptions{}); err == nil {
 		t.Fatal("MaxResults guard did not trigger")
 	}
 }
@@ -345,16 +345,16 @@ func TestMineCandidatesRespectsMinSupport(t *testing.T) {
 func TestMineCandidatesCapped(t *testing.T) {
 	d := plantedDataset(t, 14)
 	// Uncapped: equivalent to MineCandidates.
-	a, ms, err := MineCandidatesCapped(d, 1, 0)
+	a, ms, err := MineCandidatesCapped(d, 1, 0, ParallelOptions{})
 	if err != nil || ms != 1 {
 		t.Fatalf("uncapped: ms=%d err=%v", ms, err)
 	}
-	b, err := MineCandidates(d, 1, 0)
+	b, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil || len(a) != len(b) {
 		t.Fatalf("uncapped mismatch: %d vs %d", len(a), len(b))
 	}
 	// Tight cap: support must rise until the candidate set fits.
-	capped, ms, err := MineCandidatesCapped(d, 1, 10)
+	capped, ms, err := MineCandidatesCapped(d, 1, 10, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

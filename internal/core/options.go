@@ -1,0 +1,26 @@
+package core
+
+import "twoview/internal/pool"
+
+// ParallelOptions is the shared concurrency knob embedded by every
+// miner's options (ExactOptions, SelectOptions, GreedyOptions) and
+// accepted by candidate mining. All parallel paths go through
+// internal/pool and honour its determinism contract: results are
+// bit-identical for every value of Workers.
+type ParallelOptions struct {
+	// Workers sets the worker-pool size: 0 means GOMAXPROCS, 1 disables
+	// parallelism (no goroutines are spawned). Results are identical
+	// regardless of the value.
+	Workers int
+}
+
+// Parallel returns a ParallelOptions with the given worker count, for
+// concise composite literals: ExactOptions{ParallelOptions: Parallel(4)}.
+func Parallel(workers int) ParallelOptions {
+	return ParallelOptions{Workers: workers}
+}
+
+// workerCount resolves Workers against the machine and a task count.
+func (o ParallelOptions) workerCount(tasks int) int {
+	return pool.Size(o.Workers, tasks)
+}

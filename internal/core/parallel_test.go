@@ -8,13 +8,13 @@ import (
 // worker and with many workers produce identical tables.
 func TestMineSelectParallelDeterminism(t *testing.T) {
 	d := plantedDataset(t, 31)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := MineSelect(d, cands, SelectOptions{K: 25, Workers: 1})
+	serial := MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(1)})
 	for _, workers := range []int{2, 4, 7} {
-		par := MineSelect(d, cands, SelectOptions{K: 25, Workers: workers})
+		par := MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(workers)})
 		if par.Table.Size() != serial.Table.Size() {
 			t.Fatalf("workers=%d: %d rules, serial %d",
 				workers, par.Table.Size(), serial.Table.Size())
@@ -36,12 +36,12 @@ func TestMineSelectParallelDeterminism(t *testing.T) {
 func TestMineExactParallelDeterminism(t *testing.T) {
 	for _, seed := range []int64{31, 33, 35} {
 		d := plantedDataset(t, seed)
-		serial := MineExact(d, ExactOptions{Workers: 1})
+		serial := MineExact(d, ExactOptions{ParallelOptions: Parallel(1)})
 		if serial.Table.Size() == 0 {
 			t.Fatalf("seed %d: serial found no rules", seed)
 		}
 		for _, workers := range []int{2, 4, 7} {
-			par := MineExact(d, ExactOptions{Workers: workers})
+			par := MineExact(d, ExactOptions{ParallelOptions: Parallel(workers)})
 			if par.Table.Size() != serial.Table.Size() {
 				t.Fatalf("seed %d workers=%d: %d rules, serial %d",
 					seed, workers, par.Table.Size(), serial.Table.Size())
@@ -70,8 +70,8 @@ func TestMineExactParallelDeterminism(t *testing.T) {
 // ablation configurations walk the same enumeration).
 func TestMineExactParallelNoBounds(t *testing.T) {
 	d := plantedDataset(t, 34)
-	serial := MineExact(d, ExactOptions{Workers: 1, MaxRules: 3})
-	par := MineExact(d, ExactOptions{Workers: 4, MaxRules: 3, DisableRub: true, DisableQub: true})
+	serial := MineExact(d, ExactOptions{MaxRules: 3, ParallelOptions: Parallel(1)})
+	par := MineExact(d, ExactOptions{MaxRules: 3, DisableRub: true, DisableQub: true, ParallelOptions: Parallel(4)})
 	if par.Table.Size() != serial.Table.Size() {
 		t.Fatalf("%d rules, serial %d", par.Table.Size(), serial.Table.Size())
 	}
@@ -88,7 +88,7 @@ func TestMineExactParallelNoBounds(t *testing.T) {
 // Default (Workers=0 → GOMAXPROCS) matches the serial result for EXACT.
 func TestMineExactDefaultWorkers(t *testing.T) {
 	d := plantedDataset(t, 36)
-	a := MineExact(d, ExactOptions{Workers: 1, MaxRules: 4})
+	a := MineExact(d, ExactOptions{MaxRules: 4, ParallelOptions: Parallel(1)})
 	b := MineExact(d, ExactOptions{MaxRules: 4})
 	if a.Table.Size() != b.Table.Size() || a.State.Score() != b.State.Score() {
 		t.Fatal("default workers changed the result")
@@ -98,13 +98,130 @@ func TestMineExactDefaultWorkers(t *testing.T) {
 // Default (Workers=0 → GOMAXPROCS) matches the serial result too.
 func TestMineSelectDefaultWorkers(t *testing.T) {
 	d := plantedDataset(t, 32)
-	cands, err := MineCandidates(d, 1, 0)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := MineSelect(d, cands, SelectOptions{K: 1, Workers: 1})
+	a := MineSelect(d, cands, SelectOptions{K: 1, ParallelOptions: Parallel(1)})
 	b := MineSelect(d, cands, SelectOptions{K: 1})
 	if a.Table.Size() != b.Table.Size() || a.State.Score() != b.State.Score() {
 		t.Fatal("default workers changed the result")
+	}
+}
+
+// Speculative block scoring must not change GREEDY results: one worker
+// and many workers produce bit-identical tables, gains and scores.
+func TestMineGreedyParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{31, 35} {
+		d := plantedDataset(t, seed)
+		cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(1)})
+		if serial.Table.Size() == 0 {
+			t.Fatalf("seed %d: serial found no rules", seed)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par := MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(workers)})
+			if par.Table.Size() != serial.Table.Size() {
+				t.Fatalf("seed %d workers=%d: %d rules, serial %d",
+					seed, workers, par.Table.Size(), serial.Table.Size())
+			}
+			for i := range serial.Table.Rules {
+				if par.Table.Rules[i].Compare(serial.Table.Rules[i]) != 0 {
+					t.Fatalf("seed %d workers=%d: rule %d differs", seed, workers, i)
+				}
+			}
+			for i := range serial.Iterations {
+				if par.Iterations[i].Gain != serial.Iterations[i].Gain {
+					t.Fatalf("seed %d workers=%d: gain %d differs", seed, workers, i)
+				}
+			}
+			if par.State.Score() != serial.State.Score() {
+				t.Fatalf("seed %d workers=%d: score differs", seed, workers)
+			}
+		}
+	}
+}
+
+// The MaxRules cut must land on the same prefix for any worker count
+// (the speculative walk may not run past the cap).
+func TestMineGreedyParallelMaxRules(t *testing.T) {
+	d := plantedDataset(t, 37)
+	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := MineGreedy(d, cands, GreedyOptions{MaxRules: 2, ParallelOptions: Parallel(1)})
+	par := MineGreedy(d, cands, GreedyOptions{MaxRules: 2, ParallelOptions: Parallel(4)})
+	if serial.Table.Size() != par.Table.Size() {
+		t.Fatalf("%d rules, serial %d", par.Table.Size(), serial.Table.Size())
+	}
+	for i := range serial.Table.Rules {
+		if par.Table.Rules[i].Compare(serial.Table.Rules[i]) != 0 {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+}
+
+// The parallel ECLAT walk must not change the candidate set: identical
+// itemsets, supports and cached tidsets in identical order for any
+// worker count.
+func TestMineCandidatesParallelDeterminism(t *testing.T) {
+	d := plantedDataset(t, 31)
+	serial, err := MineCandidates(d, 1, 0, Parallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, err := MineCandidates(d, 1, 0, Parallel(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d candidates, serial %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if !par[i].X.Equal(serial[i].X) || !par[i].Y.Equal(serial[i].Y) ||
+				par[i].Supp != serial[i].Supp {
+				t.Fatalf("workers=%d: candidate %d differs", workers, i)
+			}
+			if !par[i].TidX.Equal(serial[i].TidX) || !par[i].TidY.Equal(serial[i].TidY) {
+				t.Fatalf("workers=%d: candidate %d tidsets differ", workers, i)
+			}
+		}
+	}
+}
+
+// The capped variant raises the support identically for any worker count
+// (the overflow guard is schedule-independent), and the explosion error
+// itself is deterministic.
+func TestMineCandidatesCappedParallelDeterminism(t *testing.T) {
+	d := plantedDataset(t, 33)
+	serial, ms1, err := MineCandidatesCapped(d, 1, 10, Parallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, ms, err := MineCandidatesCapped(d, 1, 10, Parallel(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms != ms1 || len(par) != len(serial) {
+			t.Fatalf("workers=%d: minsup %d / %d cands, serial %d / %d",
+				workers, ms, len(par), ms1, len(serial))
+		}
+		for i := range serial {
+			if !par[i].X.Equal(serial[i].X) || !par[i].Y.Equal(serial[i].Y) {
+				t.Fatalf("workers=%d: candidate %d differs", workers, i)
+			}
+		}
+	}
+	if _, err := MineCandidates(d, 1, 2, Parallel(4)); err == nil {
+		t.Fatal("parallel MaxResults guard did not trigger")
 	}
 }

@@ -1,14 +1,13 @@
 package core
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"twoview/internal/dataset"
 	"twoview/internal/itemset"
 	"twoview/internal/mdl"
+	"twoview/internal/pool"
 )
 
 // This file implements TRANSLATOR-SELECT(k) (Algorithm 3): in each round,
@@ -17,6 +16,13 @@ import (
 // them one by one, discarding rules whose itemsets overlap the items used
 // by a rule already added in the same round. Rounds repeat until no rule
 // improves compression.
+//
+// Both per-round loops run on the internal/pool worker pool: candidate
+// scoring partitions the candidates into fixed-size chunks (the chunk
+// size, not the worker count, fixes the output order), and the Line-8
+// re-check gains of the selected top-k rules are precomputed in parallel
+// before the serial add walk (see the state-invariance note at
+// recheckGains).
 
 // SelectOptions configures MineSelect.
 type SelectOptions struct {
@@ -27,11 +33,9 @@ type SelectOptions struct {
 	MaxRules int
 	// Trace observes each added rule.
 	Trace TraceFunc
-	// Workers sets the number of goroutines scoring candidates per
-	// round; 0 means GOMAXPROCS, 1 disables parallelism. Results are
-	// identical regardless of the value (scoring is read-only and the
-	// merged ranking uses a total order).
-	Workers int
+	// ParallelOptions sets the worker-pool size for per-round scoring
+	// and re-checking; results are identical for any value.
+	ParallelOptions
 }
 
 type scoredRule struct {
@@ -70,23 +74,38 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 		if len(scored) > opt.K {
 			scored = scored[:opt.K]
 		}
+		// Precomputing the Line-8 gains of all selected rules is
+		// speculative (overlap-filtered rules never consult theirs), so
+		// only do it when there are workers to amortize it; the serial
+		// walk computes each needed gain lazily at its turn instead.
+		var gains []float64
+		if opt.workerCount(len(scored)) > 1 {
+			gains = recheckGains(s, cands, scored, opt.Workers)
+		}
 
 		// Lines 5-10: add the selected rules, skipping rules whose
 		// itemsets overlap items already used in this round (their gain
 		// has changed and they may no longer belong to the top-k).
 		var usedL, usedR itemset.Itemset
 		added := false
-		for _, sr := range scored {
+		for i, sr := range scored {
 			if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 				break
 			}
 			if sr.rule.X.Intersects(usedL) || sr.rule.Y.Intersects(usedR) {
 				continue
 			}
-			// Line 8: re-check that the rule still improves compression
-			// against the *current* table.
-			c := &cands[sr.cand]
-			gain := s.GainWithTids(sr.rule, c.TidX, c.TidY)
+			// Line 8: the rule must still improve compression against
+			// the *current* table; the precomputed gains[i] is exactly
+			// that gain (see recheckGains), and the lazy serial
+			// computation trivially is.
+			var gain float64
+			if gains != nil {
+				gain = gains[i]
+			} else {
+				c := &cands[sr.cand]
+				gain = s.GainWithTids(sr.rule, c.TidX, c.TidY)
+			}
 			if gain <= gainEpsilon {
 				continue
 			}
@@ -105,43 +124,45 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 	return res
 }
 
+// scoreChunk is the fixed candidate-chunk size of the scoring pass. It
+// bounds the scheduling granularity; because it never depends on the
+// worker count, the chunked output order — and hence the result — is
+// identical for every worker count.
+const scoreChunk = 256
+
 // scoreCandidates computes the positive-gain rules of every candidate,
-// appending to dst. Scoring only reads the state, so candidates are
-// partitioned across workers; the caller's subsequent sort imposes a
-// total order, making the result independent of the partitioning.
+// appending to dst (reused across rounds). Scoring only reads the
+// state, so fixed-size candidate chunks are distributed over the pool
+// and their outputs concatenated in chunk order — i.e. candidate index
+// order, exactly what the serial path appends directly; the caller's
+// subsequent sort imposes a total order on top.
 func scoreCandidates(s *State, cands []Candidate, dst []scoredRule, workers int) []scoredRule {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if workers <= 1 {
+	tasks := (len(cands) + scoreChunk - 1) / scoreChunk
+	if pool.Size(workers, tasks) <= 1 {
 		return scoreRange(s, cands, 0, len(cands), dst)
 	}
-	parts := make([][]scoredRule, workers)
-	var wg sync.WaitGroup
-	chunk := (len(cands) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			parts[w] = scoreRange(s, cands, lo, hi, nil)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, p := range parts {
-		dst = append(dst, p...)
-	}
-	return dst
+	return pool.MapChunksInto(dst, workers, len(cands), scoreChunk, func(lo, hi int) []scoredRule {
+		return scoreRange(s, cands, lo, hi, nil)
+	})
+}
+
+// recheckGains returns, for each selected rule, its gain against the
+// current table (the Line-8 re-check), computed in parallel before the
+// serial add walk.
+//
+// Precomputing is exact, not heuristic: a rule is only added if its X
+// and Y are disjoint from every itemset already used in this round, and
+// rules added earlier in the round modify the correction state (U, E)
+// only at items of their own X and Y. A rule that passes the overlap
+// filter therefore reads exactly the same state entries at its turn in
+// the walk as at the start of the round, so the gain computed here is
+// bit-identical to the one the serial loop would compute mid-round.
+// Rules that fail the filter never have their gain consulted.
+func recheckGains(s *State, cands []Candidate, scored []scoredRule, workers int) []float64 {
+	return pool.MapOrdered(workers, len(scored), func(i int) float64 {
+		c := &cands[scored[i].cand]
+		return s.GainWithTids(scored[i].rule, c.TidX, c.TidY)
+	})
 }
 
 // scoreRange scores candidates [lo, hi), appending positive-gain rules.

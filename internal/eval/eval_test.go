@@ -50,7 +50,7 @@ func TestMaxConfidence(t *testing.T) {
 
 func TestEvaluateMatchesFromResult(t *testing.T) {
 	d := sampleData(t)
-	cands, err := core.MineCandidates(d, 1, 0)
+	cands, err := core.MineCandidates(d, 1, 0, core.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestRunExplosionSmoke(t *testing.T) {
 
 func TestWriteIterationsCSV(t *testing.T) {
 	d := sampleData(t)
-	cands, err := core.MineCandidates(d, 1, 0)
+	cands, err := core.MineCandidates(d, 1, 0, core.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

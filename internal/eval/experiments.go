@@ -20,10 +20,14 @@ import (
 // full suite stays tractable on one machine; shapes are preserved.
 
 // Workers is the worker-pool size every runner passes to the mining
-// algorithms: 0 means GOMAXPROCS, 1 forces serial execution. Results are
-// identical regardless (the miners are deterministic in the worker
-// count); cmd/experiments exposes it as -workers.
+// algorithms — candidate mining included: 0 means GOMAXPROCS, 1 forces
+// serial execution. Results are identical regardless (every parallel
+// path is deterministic in the worker count); cmd/experiments exposes it
+// as -workers.
 var Workers int
+
+// par returns the shared ParallelOptions of the runners.
+func par() core.ParallelOptions { return core.Parallel(Workers) }
 
 // Gen materializes a profile at the given scale.
 func Gen(p synth.Profile, scale float64) (*dataset.Dataset, []core.Rule, error) {
@@ -42,7 +46,7 @@ const maxCandidates = 200_000
 // until the candidate set stays below maxCandidates. It returns the
 // candidates and the effective minimum support.
 func cappedCandidates(d *dataset.Dataset, minsup int) ([]core.Candidate, int, error) {
-	return core.MineCandidatesCapped(d, minsup, maxCandidates)
+	return core.MineCandidatesCapped(d, minsup, maxCandidates, par())
 }
 
 // RunTable1 regenerates Table 1: dataset properties and uncompressed
@@ -85,7 +89,7 @@ type MethodCells struct {
 func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCells, int, error) {
 	var out []MethodCells
 	if withExact {
-		res := core.MineExact(d, core.ExactOptions{Workers: Workers})
+		res := core.MineExact(d, core.ExactOptions{ParallelOptions: par()})
 		m := FromResult(d, res)
 		out = append(out, MethodCells{"T-EXACT", m.NumRules, m.LPct, m.Runtime})
 	}
@@ -99,11 +103,11 @@ func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCel
 		name string
 		k    int
 	}{{"T-SELECT(1)", 1}, {"T-SELECT(25)", 25}} {
-		res := core.MineSelect(d, cands, core.SelectOptions{K: cfg.k, Workers: Workers})
+		res := core.MineSelect(d, cands, core.SelectOptions{K: cfg.k, ParallelOptions: par()})
 		m := FromResult(d, res)
 		out = append(out, MethodCells{cfg.name, m.NumRules, m.LPct, m.Runtime + candTime})
 	}
-	res := core.MineGreedy(d, cands, core.GreedyOptions{})
+	res := core.MineGreedy(d, cands, core.GreedyOptions{ParallelOptions: par()})
 	m := FromResult(d, res)
 	out = append(out, MethodCells{"T-GREEDY", m.NumRules, m.LPct, m.Runtime + candTime})
 	return out, minsup, nil
@@ -193,7 +197,7 @@ func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Ro
 		if err != nil {
 			return nil, err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
+		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
 		m := FromResult(d, res)
 		m.Runtime = time.Since(start)
 		rows = append(rows, Table3Row{p.Name, "TRANSLATOR", m, ""})
@@ -274,7 +278,7 @@ func RunFig2(w io.Writer, scale float64) ([]core.IterationStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
+	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
 	t := NewTextTable("iter", "|U_L|", "|U_R|", "|E_L|", "|E_R|",
 		"L(T)", "L(D_L→R|T)", "L(D_L←R|T)", "L(D_L↔R,T)")
 	base := res.State.Baseline()

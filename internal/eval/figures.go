@@ -21,7 +21,7 @@ func methodTables(d *dataset.Dataset, minsup int, seed int64) (map[string]*core.
 	if err != nil {
 		return nil, err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
+	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
 	out["TRANSLATOR"] = res.Table
 	sig, err := sigrules.Mine(d, sigrules.Options{MinSupport: minsup, Seed: seed})
 	if err != nil {
@@ -143,7 +143,7 @@ func RunFig7(w io.Writer, scale float64) error {
 	if err != nil {
 		return err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
+	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
 	fmt.Fprintln(w, "Fig. 7: example rules mined from Elections with T-SELECT(1)")
 	for _, rs := range TopRules(d, res.Table, 4) {
 		fmt.Fprintf(w, "  %-60s supp=%-5d c+=%.2f\n", rs.Rule.Format(d), rs.Supp, rs.Conf)
@@ -195,7 +195,7 @@ func RunRecovery(w io.Writer, scale float64, profiles []synth.Profile) error {
 		if err != nil {
 			return err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
+		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
 		overlap, exact := 0, 0
 		for _, pr := range planted {
 			matched, exactMatch := false, false
@@ -246,7 +246,7 @@ func RunExplosion(w io.Writer, scale float64, profiles []synth.Profile) error {
 		if err != nil {
 			return err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, Workers: Workers})
+		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
 		if res.Table.Size() == 0 {
 			t.AddRow(p.Name, 0, "-", "-", "-", "-")
 			continue
@@ -290,10 +290,10 @@ func RunAblation(w io.Writer, scale float64, rules int, profiles []synth.Profile
 		}
 		var times []time.Duration
 		for _, opt := range []core.ExactOptions{
-			{MaxRules: rules, Workers: Workers},
-			{MaxRules: rules, DisableRub: true, Workers: Workers},
-			{MaxRules: rules, DisableQub: true, Workers: Workers},
-			{MaxRules: rules, DisableRub: true, DisableQub: true, Workers: Workers},
+			{MaxRules: rules, ParallelOptions: par()},
+			{MaxRules: rules, DisableRub: true, ParallelOptions: par()},
+			{MaxRules: rules, DisableQub: true, ParallelOptions: par()},
+			{MaxRules: rules, DisableRub: true, DisableQub: true, ParallelOptions: par()},
 		} {
 			start := time.Now()
 			core.MineExact(d, opt)

@@ -5,6 +5,16 @@
 // candidate sets used by TRANSLATOR-SELECT and TRANSLATOR-GREEDY: closed
 // frequent *two-view* itemsets, i.e. itemsets with items from both views
 // (§5.3 of the paper).
+//
+// The walk parallelizes over the top-level branches of the search tree
+// (one branch per frequent item, in the global search order) on the
+// internal/pool worker pool: within one call the columns, search order
+// and closure structures are read-only, every worker collects its own
+// output slice, and the final support-descending sort is a total order,
+// so the mined set is bit-identical for every worker count. The
+// MaxResults overflow guard counts emissions through a shared
+// pool.Counter; it trips in every schedule iff the total number of
+// results exceeds the cap, so success/failure is deterministic too.
 package eclat
 
 import (
@@ -14,6 +24,7 @@ import (
 	"twoview/internal/bitset"
 	"twoview/internal/dataset"
 	"twoview/internal/itemset"
+	"twoview/internal/pool"
 )
 
 // FI is a mined frequent itemset over the joined alphabet: left items keep
@@ -52,6 +63,21 @@ type Options struct {
 	// MaxResults aborts mining with an error when exceeded; it protects
 	// against accidental pattern explosions. 0 means unbounded.
 	MaxResults int
+	// Workers sets the worker-pool size for the tidset-intersection
+	// walk: 0 means GOMAXPROCS, 1 disables parallelism. The mined set
+	// is identical for any value.
+	Workers int
+}
+
+// walk is everything the depth-first search reads but never writes: it is
+// shared by all workers of one Mine call.
+type walk struct {
+	d       *dataset.Dataset
+	opt     Options
+	nLeft   int
+	cols    []*bitset.Set
+	order   []int         // frequent items in search order
+	emitted *pool.Counter // MaxResults accounting across workers
 }
 
 // Mine returns the (closed) frequent itemsets of the joined views of d
@@ -72,7 +98,6 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 		cols[nL+i] = c
 	}
 
-	mi := &miner{d: d, opt: opt, nLeft: nL, cols: cols}
 	// Frequent single items, in ascending support order: extending by
 	// rarer items first keeps tidsets small early (standard ECLAT
 	// heuristic) while remaining deterministic.
@@ -89,19 +114,28 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 		}
 		return freq[a] < freq[b]
 	})
-	mi.order = freq
-	mi.rank = make(map[int]int, len(freq))
-	for r, it := range freq {
-		mi.rank[it] = r
-	}
+	w := &walk{d: d, opt: opt, nLeft: nL, cols: cols, order: freq,
+		emitted: new(pool.Counter)}
 
 	all := bitset.New(d.Size())
 	all.Fill()
-	if err := mi.dfs(nil, all, 0); err != nil {
+
+	// One task per top-level branch, dynamically scheduled (branch sizes
+	// are heavily skewed toward the rare early items); each worker
+	// appends to its own miner.out.
+	workers := pool.Size(opt.Workers, len(w.order))
+	p := pool.New(workers, func(int) *miner { return &miner{walk: w} })
+	err := p.RunErr(len(w.order), func(mi *miner, k int) error {
+		return mi.branch(nil, all, k)
+	})
+	if err != nil {
 		return nil, err
 	}
 
-	out := mi.out
+	var out []FI
+	for _, mi := range p.States() {
+		out = append(out, mi.out...)
+	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Supp != out[b].Supp {
 			return out[a].Supp > out[b].Supp
@@ -111,64 +145,68 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 	return out, nil
 }
 
+// miner is one worker's share of the walk: the shared read-only
+// structures plus a private output slice.
 type miner struct {
-	d     *dataset.Dataset
-	opt   Options
-	nLeft int
-	cols  []*bitset.Set
-	order []int       // frequent items in search order
-	rank  map[int]int // item id -> position in order
-	out   []FI
+	*walk
+	out []FI
 }
 
 // dfs grows the current itemset (cur, with tidset tids) by items at order
-// positions ≥ start. For closed mining it applies the prefix-preserving
-// closure test: the closure of cur must not contain any item that precedes
-// the generating item in the search order, otherwise the branch duplicates
-// an already-explored closed set.
+// positions ≥ start.
 func (m *miner) dfs(cur itemset.Itemset, tids *bitset.Set, start int) error {
 	for k := start; k < len(m.order); k++ {
-		it := m.order[k]
-		if cur.Contains(it) {
-			continue // already absorbed by a closure on this path
-		}
-		child := bitset.New(m.d.Size())
-		bitset.IntersectInto(child, tids, m.cols[it])
-		supp := child.Count()
-		if supp < m.opt.MinSupport {
-			continue
-		}
-		cand := insertSorted(cur, it)
-		if m.opt.MaxItems > 0 && len(cand) > m.opt.MaxItems {
-			continue
-		}
-		next := cand
-		emit := cand
-		if m.opt.Closed {
-			closure, ok := m.closure(cand, child, k)
-			if !ok {
-				// Non-canonical: an item preceding position k closes
-				// cand, so this branch (and every extension, whose
-				// closure would contain that item too) duplicates an
-				// already-explored closed set.
-				continue
-			}
-			next, emit = closure, closure
-			if m.opt.MaxItems > 0 && len(emit) > m.opt.MaxItems {
-				emit = nil // closure outgrew the bound; recurse only
-			}
-		}
-		if emit != nil && (!m.opt.TwoView || m.isTwoView(emit)) {
-			m.out = append(m.out, FI{Items: emit, Supp: supp, Tids: child})
-			if m.opt.MaxResults > 0 && len(m.out) > m.opt.MaxResults {
-				return fmt.Errorf("eclat: more than %d itemsets; raise MinSupport", m.opt.MaxResults)
-			}
-		}
-		if err := m.dfs(next, child, k+1); err != nil {
+		if err := m.branch(cur, tids, k); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// branch extends the current itemset (cur, with tidset tids) by the item
+// at order position k and recurses into positions > k. For closed mining
+// it applies the prefix-preserving closure test: the closure of the
+// extension must not contain any item that precedes the generating item
+// in the search order, otherwise the branch duplicates an
+// already-explored closed set.
+func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k int) error {
+	it := m.order[k]
+	if cur.Contains(it) {
+		return nil // already absorbed by a closure on this path
+	}
+	child := bitset.New(m.d.Size())
+	bitset.IntersectInto(child, tids, m.cols[it])
+	supp := child.Count()
+	if supp < m.opt.MinSupport {
+		return nil
+	}
+	cand := insertSorted(cur, it)
+	if m.opt.MaxItems > 0 && len(cand) > m.opt.MaxItems {
+		return nil
+	}
+	next := cand
+	emit := cand
+	if m.opt.Closed {
+		closure, ok := m.closure(cand, child, k)
+		if !ok {
+			// Non-canonical: an item preceding position k closes
+			// cand, so this branch (and every extension, whose
+			// closure would contain that item too) duplicates an
+			// already-explored closed set.
+			return nil
+		}
+		next, emit = closure, closure
+		if m.opt.MaxItems > 0 && len(emit) > m.opt.MaxItems {
+			emit = nil // closure outgrew the bound; recurse only
+		}
+	}
+	if emit != nil && (!m.opt.TwoView || m.isTwoView(emit)) {
+		m.out = append(m.out, FI{Items: emit, Supp: supp, Tids: child})
+		if m.opt.MaxResults > 0 && int(m.emitted.Add()) > m.opt.MaxResults {
+			return fmt.Errorf("eclat: more than %d itemsets; raise MinSupport", m.opt.MaxResults)
+		}
+	}
+	return m.dfs(next, child, k+1)
 }
 
 // closure returns cur extended with every item whose tidset is a superset
@@ -199,6 +237,5 @@ func insertSorted(s itemset.Itemset, x int) itemset.Itemset {
 	out := make(itemset.Itemset, 0, len(s)+1)
 	out = append(out, s[:i]...)
 	out = append(out, x)
-	out = append(out, s[i:]...)
-	return out
+	return append(out, s[i:]...)
 }

@@ -157,6 +157,63 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+// The parallel walk must return the exact same itemsets, supports and
+// tidsets, in the same order, for every worker count and option mix.
+func TestMineParallelDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		d := randomDataset(r)
+		for _, opt := range []Options{
+			{MinSupport: 1},
+			{MinSupport: 2, Closed: true},
+			{MinSupport: 1, Closed: true, TwoView: true},
+			{MinSupport: 1, MaxItems: 3},
+		} {
+			opt.Workers = 1
+			serial, err := Mine(d, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 7} {
+				opt.Workers = workers
+				par, err := Mine(d, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(par) != len(serial) {
+					t.Fatalf("trial %d workers=%d opts=%+v: %d itemsets, serial %d",
+						trial, workers, opt, len(par), len(serial))
+				}
+				for i := range serial {
+					if !par[i].Items.Equal(serial[i].Items) || par[i].Supp != serial[i].Supp ||
+						!par[i].Tids.Equal(serial[i].Tids) {
+						t.Fatalf("trial %d workers=%d: itemset %d differs", trial, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The MaxResults overflow must trip for every worker count (the emission
+// counter is global, so success/failure is schedule-independent).
+func TestMaxResultsParallel(t *testing.T) {
+	d := small(t)
+	for _, workers := range []int{1, 2, 4, 7} {
+		if _, err := Mine(d, Options{MinSupport: 1, MaxResults: 3, Workers: workers}); err == nil {
+			t.Fatalf("workers=%d: expected explosion error", workers)
+		}
+		// A cap the output fits under must never trip.
+		fis, err := Mine(d, Options{MinSupport: 1, MaxResults: 100, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(fis) != 15 {
+			t.Fatalf("workers=%d: %d itemsets, want 15", workers, len(fis))
+		}
+	}
+}
+
 func TestSortOrderDeterministic(t *testing.T) {
 	d := small(t)
 	a, _ := Mine(d, Options{MinSupport: 1})

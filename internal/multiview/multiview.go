@@ -108,6 +108,10 @@ type Options struct {
 	// MaxCandidates guards against pattern explosion per pair
 	// (0 = unbounded).
 	MaxCandidates int
+	// ParallelOptions sets the worker-pool size used for candidate
+	// mining and SELECT within each pair; results are identical for any
+	// value.
+	core.ParallelOptions
 }
 
 // MineAllPairs mines a translation table for every unordered view pair
@@ -126,12 +130,12 @@ func MineAllPairs(d *Dataset, opt Options) ([]PairResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			cands, err := core.MineCandidates(two, opt.MinSupport, opt.MaxCandidates)
+			cands, err := core.MineCandidates(two, opt.MinSupport, opt.MaxCandidates, opt.ParallelOptions)
 			if err != nil {
 				return nil, fmt.Errorf("multiview: pair (%s, %s): %w",
 					d.ViewName(i), d.ViewName(j), err)
 			}
-			res := core.MineSelect(two, cands, core.SelectOptions{K: opt.K})
+			res := core.MineSelect(two, cands, core.SelectOptions{K: opt.K, ParallelOptions: opt.ParallelOptions})
 			out = append(out, PairResult{I: i, J: j, Data: two, Result: res})
 		}
 	}

@@ -1,0 +1,276 @@
+// Package pool is the single worker-pool abstraction behind every
+// parallel search in this repository: the TRANSLATOR-EXACT
+// branch-and-bound, TRANSLATOR-SELECT scoring and re-checking,
+// TRANSLATOR-GREEDY block scoring, and the ECLAT candidate walk.
+//
+// All primitives share one determinism contract: the values a caller
+// observes are bit-identical for every worker count, including 1.
+// The contract rests on three rules that every primitive enforces:
+//
+//   - work is partitioned by *task index*, never by worker, and any
+//     task-level chunking uses sizes fixed by the caller, so the set of
+//     per-task computations (and their floating-point evaluation order)
+//     does not depend on the number of workers;
+//   - each task writes only its own slot (MapOrdered), its own chunk
+//     (MapChunksInto), or its own worker-local state (Pool), so no result
+//     depends on cross-worker timing;
+//   - cross-worker communication is restricted to monotone values (Max,
+//     Counter) that callers may only use in ways that are insensitive to
+//     the order of updates — e.g. pruning thresholds that are strict
+//     lower bounds on what must still be visited.
+//
+// Scheduling is dynamic (workers pull task indices from a shared
+// counter), because search-tree branch costs are heavily skewed;
+// dynamic assignment changes only *which worker* runs a task, which the
+// rules above make unobservable.
+package pool
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size resolves a Workers knob against the machine and the task count:
+// 0 means GOMAXPROCS, and the result never exceeds tasks (there is no
+// point in idle workers) nor falls below 1.
+func Size(workers, tasks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Max publishes a monotonically increasing non-negative float64 across
+// workers as the bit pattern of an atomic uint64. Non-negative IEEE-754
+// values order exactly like their unsigned bit patterns, which makes the
+// compare-and-swap loop in Raise correct without locks.
+//
+// The searches use it for the incumbent best gain: pruning against a
+// threshold that any worker may raise at any time stays deterministic
+// as long as pruning is *strict* (bound < threshold), because then a
+// late update can only skip subtrees that cannot change the champion.
+type Max struct{ bits atomic.Uint64 }
+
+// Load returns the current maximum (0 before any Raise).
+func (m *Max) Load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// Raise lifts the published value to at least v (monotone CAS max).
+// v must be non-negative.
+func (m *Max) Raise(v float64) {
+	for {
+		old := m.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Counter is a shared monotone event counter (e.g. results emitted so
+// far across all workers). Deterministic uses are limited to threshold
+// tests whose outcome does not depend on which worker contributed which
+// increment — such as "abort once more than N results exist", where the
+// abort fires in every schedule iff the total exceeds N.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter by one and returns the new total.
+func (c *Counter) Add() int64 { return c.n.Add(1) }
+
+// Load returns the current total.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Pool runs phases of dynamically-scheduled tasks over a fixed set of
+// per-worker states. It is the shape used by searches that accumulate a
+// champion or a result list per worker and merge afterwards: build the
+// pool once, run one or more task phases, then fold States() under a
+// total order.
+//
+// With one worker every phase executes inline on the calling goroutine,
+// so Workers==1 is genuinely serial (no goroutines, no atomics beyond
+// the task counter).
+type Pool[S any] struct {
+	states []S
+}
+
+// New builds a pool of `workers` states, each created by mk (called with
+// the worker index, in order, on the calling goroutine).
+func New[S any](workers int, mk func(w int) S) *Pool[S] {
+	if workers < 1 {
+		workers = 1
+	}
+	states := make([]S, workers)
+	for w := range states {
+		states[w] = mk(w)
+	}
+	return &Pool[S]{states: states}
+}
+
+// States returns the per-worker states in worker order, for merging
+// after the phases have run. The order is deterministic, but callers
+// must merge under a total order anyway: which tasks ran on which
+// worker is schedule-dependent.
+func (p *Pool[S]) States() []S { return p.states }
+
+// Run executes fn(state, task) for every task in [0, tasks), pulling
+// task indices dynamically. It returns when all tasks have finished
+// (a barrier), so consecutive Run calls form sequential phases over the
+// same worker states.
+func (p *Pool[S]) Run(tasks int, fn func(s S, task int)) {
+	if len(p.states) == 1 {
+		for t := 0; t < tasks; t++ {
+			fn(p.states[0], t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := range p.states {
+		wg.Add(1)
+		go func(s S) {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				fn(s, t)
+			}
+		}(p.states[w])
+	}
+	wg.Wait()
+}
+
+// RunErr is Run for fallible tasks. After the first failure no new
+// tasks are dispensed (running ones finish), and the error of the
+// lowest-indexed failed task among those that ran is returned. When the
+// failure condition is schedule-independent — the only use in this
+// repository is the ECLAT result-cap overflow, which trips in every
+// schedule iff the total result count exceeds the cap — the returned
+// error is deterministic too.
+func (p *Pool[S]) RunErr(tasks int, fn func(s S, task int) error) error {
+	if len(p.states) == 1 {
+		for t := 0; t < tasks; t++ {
+			if err := fn(p.states[0], t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errAt  = -1
+		first  error
+	)
+	for w := range p.states {
+		wg.Add(1)
+		go func(s S) {
+			defer wg.Done()
+			for !failed.Load() {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				if err := fn(s, t); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errAt < 0 || t < errAt {
+						errAt, first = t, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(p.states[w])
+	}
+	wg.Wait()
+	return first
+}
+
+// MapOrdered returns out with out[i] = fn(i) for i in [0, n), computed
+// by `workers` goroutines pulling indices dynamically. Each index writes
+// only its own slot, so the result is independent of the worker count.
+// Intended for expensive per-item work (gain evaluations); for cheap
+// per-item work over large n, prefer MapChunksInto.
+func MapOrdered[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers = Size(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MapChunksInto splits [0, n) into fixed-size chunks, applies fn to
+// each chunk (dynamically scheduled), and appends the per-chunk slices
+// to dst in chunk order, so callers invoking it repeatedly (e.g. once
+// per search round) can reuse one destination buffer. Because the chunk
+// size is a caller-fixed constant — never derived from the worker count
+// — both the per-chunk computations and the concatenation order are
+// identical for every worker count.
+func MapChunksInto[T any](dst []T, workers, n, chunk int, fn func(lo, hi int) []T) []T {
+	if n <= 0 {
+		return dst
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	tasks := (n + chunk - 1) / chunk
+	if tasks == 1 {
+		return append(dst, fn(0, n)...)
+	}
+	parts := make([][]T, tasks)
+	p := New(Size(workers, tasks), func(int) struct{} { return struct{}{} })
+	p.Run(tasks, func(_ struct{}, t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		parts[t] = fn(lo, hi)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if free := cap(dst) - len(dst); free < total {
+		grown := make([]T, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, part := range parts {
+		dst = append(dst, part...)
+	}
+	return dst
+}

@@ -1,0 +1,189 @@
+package pool
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestSize(t *testing.T) {
+	for _, tc := range []struct{ workers, tasks, min, max int }{
+		{1, 100, 1, 1},
+		{4, 100, 4, 4},
+		{4, 2, 2, 2},
+		{0, 0, 1, 1},
+		{0, 1 << 30, 1, 1 << 30}, // 0 → GOMAXPROCS, whatever it is
+		{-3, 5, 1, 5},
+	} {
+		got := Size(tc.workers, tc.tasks)
+		if got < tc.min || got > tc.max {
+			t.Errorf("Size(%d, %d) = %d, want in [%d, %d]",
+				tc.workers, tc.tasks, got, tc.min, tc.max)
+		}
+	}
+}
+
+func TestMaxRaise(t *testing.T) {
+	var m Max
+	if m.Load() != 0 {
+		t.Fatalf("zero Max loads %v", m.Load())
+	}
+	m.Raise(1.5)
+	m.Raise(0.5) // lower: no effect
+	if m.Load() != 1.5 {
+		t.Fatalf("Load = %v, want 1.5", m.Load())
+	}
+	// Concurrent raises settle on the global maximum.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Raise(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Load() != 7999 {
+		t.Fatalf("concurrent max = %v, want 7999", m.Load())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 400 {
+		t.Fatalf("counter = %d, want 400", c.Load())
+	}
+}
+
+// Every task must run exactly once, on some worker's own state.
+func TestPoolRunCoversAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := New(workers, func(w int) *[]int { return new([]int) })
+		p.Run(100, func(s *[]int, task int) { *s = append(*s, task) })
+		var all []int
+		for _, s := range p.States() {
+			all = append(all, *s...)
+		}
+		sort.Ints(all)
+		if len(all) != 100 {
+			t.Fatalf("workers=%d: %d tasks ran, want 100", workers, len(all))
+		}
+		for i, v := range all {
+			if v != i {
+				t.Fatalf("workers=%d: task %d missing or duplicated", workers, i)
+			}
+		}
+	}
+}
+
+// Sequential phases over the same pool share worker states.
+func TestPoolPhases(t *testing.T) {
+	p := New(3, func(w int) *int { return new(int) })
+	p.Run(30, func(s *int, _ int) { *s++ })
+	p.Run(12, func(s *int, _ int) { *s++ })
+	total := 0
+	for _, s := range p.States() {
+		total += *s
+	}
+	if total != 42 {
+		t.Fatalf("phase totals = %d, want 42", total)
+	}
+}
+
+func TestPoolRunErr(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 2, 4} {
+		p := New(workers, func(w int) struct{} { return struct{}{} })
+		err := p.RunErr(50, func(_ struct{}, task int) error {
+			if task >= 10 {
+				return errBoom
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if err := p.RunErr(20, func(struct{}, int) error { return nil }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		out := MapOrdered(workers, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if out := MapOrdered(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatal("empty map not empty")
+	}
+}
+
+// MapChunksInto output must be the in-order concatenation, independent of
+// worker count, including chunks that produce a variable number of
+// results.
+func TestMapChunksIntoDeterministic(t *testing.T) {
+	fn := func(lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			if i%3 != 0 { // variable-length chunk output
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	want := MapChunksInto(nil, 1, 1000, 64, fn)
+	for _, workers := range []int{2, 4, 7} {
+		got := MapChunksInto(nil, workers, 1000, 64, fn)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// MapChunksInto must append to the destination and reuse its capacity
+// when it suffices (the per-round buffer-reuse pattern of MineSelect).
+func TestMapChunksInto(t *testing.T) {
+	fn := func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	got := MapChunksInto([]int{-1}, 4, 100, 16, fn)
+	if len(got) != 101 || got[0] != -1 || got[1] != 0 || got[100] != 99 {
+		t.Fatalf("prefix not preserved: len=%d got[0]=%d", len(got), got[0])
+	}
+	buf := make([]int, 0, 256)
+	out := MapChunksInto(buf, 4, 100, 16, fn)
+	if &out[:1][0] != &buf[:1][0] {
+		t.Fatal("sufficient capacity was not reused")
+	}
+	if out2 := MapChunksInto(nil, 3, 0, 16, fn); len(out2) != 0 {
+		t.Fatal("n=0 must return dst unchanged")
+	}
+}

@@ -193,7 +193,7 @@ func TestMinedTablesRecoverPlantedStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, err := core.MineCandidates(d, 5, 0)
+	cands, err := core.MineCandidates(d, 5, 0, core.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

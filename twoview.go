@@ -27,7 +27,7 @@
 //	                           []string{"mood:energetic", "mood:calm"})
 //	d.AddRow([]int{0, 1}, []int{0})
 //	...
-//	cands, _ := twoview.MineCandidates(d, 1, 0)
+//	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 //	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
 //	for _, r := range res.Table.Rules {
 //	    fmt.Println(r.Format(d))
@@ -78,6 +78,12 @@ type (
 	SelectOptions = core.SelectOptions
 	// GreedyOptions configures MineGreedy.
 	GreedyOptions = core.GreedyOptions
+	// ParallelOptions is the worker-pool knob embedded by every miner's
+	// options and accepted by candidate mining: Workers = 0 means
+	// GOMAXPROCS, 1 means serial. Every parallel path in the library
+	// goes through one internal worker-pool abstraction whose contract
+	// is that results are bit-identical for any worker count.
+	ParallelOptions = core.ParallelOptions
 
 	// Metrics are the paper's evaluation criteria for a rule set.
 	Metrics = eval.Metrics
@@ -123,26 +129,31 @@ func WriteDataset(w io.Writer, d *Dataset) error { return dataset.Write(w, d) }
 // WriteDatasetFile writes a dataset file.
 func WriteDatasetFile(path string, d *Dataset) error { return dataset.WriteFile(path, d) }
 
+// Parallel returns a ParallelOptions with the given worker count, for
+// concise option literals: ExactOptions{ParallelOptions: Parallel(4)}.
+func Parallel(workers int) ParallelOptions { return core.Parallel(workers) }
+
 // MineExact runs TRANSLATOR-EXACT (parameter-free, optimal rule per
 // iteration; for datasets with moderate numbers of items). The
-// branch-and-bound search parallelizes across ExactOptions.Workers
+// branch-and-bound search parallelizes across ParallelOptions.Workers
 // goroutines (0 = GOMAXPROCS, 1 = serial) with results independent of the
 // worker count.
 func MineExact(d *Dataset, opt ExactOptions) *Result { return core.MineExact(d, opt) }
 
 // MineCandidates mines the closed frequent two-view itemsets that serve
 // as candidates for MineSelect and MineGreedy. maxResults guards against
-// pattern explosion (0 = unbounded).
-func MineCandidates(d *Dataset, minSupport, maxResults int) ([]Candidate, error) {
-	return core.MineCandidates(d, minSupport, maxResults)
+// pattern explosion (0 = unbounded). The ECLAT walk parallelizes across
+// par.Workers goroutines with results independent of the worker count.
+func MineCandidates(d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
+	return core.MineCandidates(d, minSupport, maxResults, par)
 }
 
 // MineCandidatesCapped is MineCandidates with automatic support raising:
 // on a pattern explosion it doubles minSupport until at most maxResults
 // candidates remain, returning the effective support used (the paper's
 // §6.1 protocol). Prefer this on unfamiliar data.
-func MineCandidatesCapped(d *Dataset, minSupport, maxResults int) ([]Candidate, int, error) {
-	return core.MineCandidatesCapped(d, minSupport, maxResults)
+func MineCandidatesCapped(d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
+	return core.MineCandidatesCapped(d, minSupport, maxResults, par)
 }
 
 // MineSelect runs TRANSLATOR-SELECT(k) over the candidates.

@@ -40,7 +40,7 @@ func buildToy(t testing.TB) *twoview.Dataset {
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	d := buildToy(t)
-	cands, err := twoview.MineCandidates(d, 1, 0)
+	cands, err := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestPublicAPIGreedyAndDirections(t *testing.T) {
 	d := buildToy(t)
-	cands, err := twoview.MineCandidates(d, 1, 0)
+	cands, err := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestPublicAPISynthesis(t *testing.T) {
 
 func TestPublicAPIDot(t *testing.T) {
 	d := buildToy(t)
-	cands, _ := twoview.MineCandidates(d, 1, 0)
+	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
 	var b strings.Builder
 	if err := twoview.WriteDot(&b, d, res.Table, "toy"); err != nil {
@@ -149,7 +149,7 @@ func ExampleMineSelect() {
 	for i := 0; i < 4; i++ {
 		d.AddRow(nil, nil)
 	}
-	cands, _ := twoview.MineCandidates(d, 1, 0)
+	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
 	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
 	for _, r := range res.Table.Rules {
 		fmt.Println(r.Format(d))
