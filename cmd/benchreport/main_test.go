@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: twoview/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMineSelect/serial-4         	     100	    132437 ns/op	   34680 B/op	     883 allocs/op
+BenchmarkMineSelect/serial-4         	     100	    115549 ns/op	   34680 B/op	     883 allocs/op
+BenchmarkMineSelect/parallel-4       	     100	    114049 ns/op	   34680 B/op	     883 allocs/op
+BenchmarkMineCandidates/serial       	     100	     78119 ns/op	   40312 B/op	    1169 allocs/op
+BenchmarkMineCandidates/parallel     	     100	     65958 ns/op	   40312 B/op	    1169 allocs/op
+BenchmarkMineSelect/serial-k1-4      	     100	    110000 ns/op	   30000 B/op	     800 allocs/op
+BenchmarkMineSelect/parallel-k1-4    	     100	     55000 ns/op	   30000 B/op	     800 allocs/op
+BenchmarkMineGreedy/parallel-block64 	     100	     70000 ns/op	   20000 B/op	     700 allocs/op
+BenchmarkBestRule-4                  	     100	    523847 ns/op
+PASS
+`
+
+func TestBuildReport(t *testing.T) {
+	rep := buildReport(sampleOutput)
+	if rep.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 8 {
+		t.Fatalf("%d benchmarks, want 8", len(rep.Benchmarks))
+	}
+	sel := rep.Benchmarks[0]
+	if sel.Name != "BenchmarkMineSelect/serial" || sel.Samples != 2 {
+		t.Fatalf("first benchmark %+v", sel)
+	}
+	if sel.NsOp != 115549 { // min of the two samples
+		t.Fatalf("min ns/op not kept: %v", sel.NsOp)
+	}
+	if sel.AllocsOp != 883 || sel.BytesOp != 34680 {
+		t.Fatalf("allocs/bytes wrong: %+v", sel)
+	}
+	// The -N GOMAXPROCS suffix is stripped; plain ns/op lines parse too.
+	last := rep.Benchmarks[7]
+	if last.Name != "BenchmarkBestRule" || last.NsOp != 523847 || last.AllocsOp != 0 {
+		t.Fatalf("last benchmark %+v", last)
+	}
+}
+
+func TestPairRatios(t *testing.T) {
+	rep := buildReport(sampleOutput)
+	// Plain pairs, plus the suffixed serial-k1/parallel-k1 pair; the
+	// counterpart-less parallel-block64 variant produces no ratio.
+	if len(rep.Ratios) != 3 {
+		t.Fatalf("%d ratios, want 3: %+v", len(rep.Ratios), rep.Ratios)
+	}
+	cand := rep.Ratios[0]
+	if cand.Name != "BenchmarkMineCandidates" {
+		t.Fatalf("ratio order: %+v", rep.Ratios)
+	}
+	want := 78119.0 / 65958.0
+	if cand.Speedup < want-1e-9 || cand.Speedup > want+1e-9 {
+		t.Fatalf("speedup %v, want %v", cand.Speedup, want)
+	}
+	k1 := rep.Ratios[2]
+	if k1.Name != "BenchmarkMineSelect-k1" || k1.Speedup != 2 {
+		t.Fatalf("suffixed variant not paired: %+v", k1)
+	}
+}
+
+func TestGateRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+
+	cur := buildReport(sampleOutput)
+
+	// Missing baseline: gate dormant, no error.
+	var out strings.Builder
+	if err := gate(&out, cur, basePath, 0.25); err != nil {
+		t.Fatalf("missing baseline must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "dormant") {
+		t.Fatalf("missing-baseline note absent: %q", out.String())
+	}
+
+	// Identical baseline: passes.
+	writeJSON(t, basePath, cur)
+	if err := gate(&out, cur, basePath, 0.25); err != nil {
+		t.Fatalf("identical baseline must pass: %v", err)
+	}
+
+	// A baseline 2x faster than current: every benchmark regressed.
+	faster := *cur
+	faster.Benchmarks = append([]Benchmark(nil), cur.Benchmarks...)
+	for i := range faster.Benchmarks {
+		faster.Benchmarks[i].NsOp /= 2
+	}
+	writeJSON(t, basePath, &faster)
+	err := gate(&out, cur, basePath, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not detected: %v", err)
+	}
+}
+
+func writeJSON(t *testing.T, path string, rep *Report) {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"twoview/internal/core"
 	"twoview/internal/eval"
 )
 
@@ -86,6 +87,10 @@ func main() {
 	)
 	flag.Parse()
 	eval.Workers = *workers
+	// One persistent worker session serves the whole batch: every
+	// experiment's mining rounds reuse the same parked workers.
+	eval.Session = core.NewSession()
+	defer eval.Session.Close()
 
 	all := experiments()
 	if *list {

@@ -75,7 +75,11 @@ func main() {
 		}
 	}
 
-	par := core.Parallel(*workers)
+	// Candidate mining and the miner share one persistent worker
+	// session (parked workers, no per-round goroutine launches).
+	sess := core.NewSession()
+	defer sess.Close()
+	par := core.ParallelOptions{Workers: *workers, Session: sess}
 	var res *core.Result
 	switch *algo {
 	case "exact":

@@ -28,6 +28,25 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// NewBatch returns count empty sets of width n carved out of a single
+// backing words allocation, for bulk materialization of tidsets that
+// are retained together (e.g. the per-view supports of a candidate
+// set): two allocations instead of 2·count. The sets are independent —
+// their word slices do not overlap — but share the backing array's
+// lifetime.
+func NewBatch(count, n int) []Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative width %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	words := make([]uint64, count*w)
+	sets := make([]Set, count)
+	for i := range sets {
+		sets[i] = Set{words: words[i*w : (i+1)*w : (i+1)*w], n: n}
+	}
+	return sets
+}
+
 // FromIndices returns a set of width n with exactly the given bits set.
 func FromIndices(n int, idx []int) *Set {
 	s := New(n)
@@ -104,6 +123,25 @@ func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+}
+
+// Reset re-widths s to n bits and clears every bit, growing in place:
+// the existing word storage is reused whenever its capacity suffices,
+// so resetting inside a hot loop does not allocate in steady state.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative width %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.words) >= w {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	} else {
+		s.words = make([]uint64, w)
+	}
+	s.n = n
 }
 
 // Fill sets all bits in [0, width).

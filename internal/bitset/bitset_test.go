@@ -81,6 +81,100 @@ func TestOutOfRangePanics(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	s := New(100)
+	s.Add(3)
+	s.Add(99)
+	words := s.Words()
+
+	// Shrinking and re-growing within capacity must reuse storage and
+	// clear every bit.
+	s.Reset(64)
+	if s.Len() != 64 || !s.Empty() {
+		t.Fatalf("Reset(64): len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Reset(100)
+	if s.Len() != 100 || !s.Empty() {
+		t.Fatalf("Reset(100): len=%d empty=%v", s.Len(), s.Empty())
+	}
+	if &s.Words()[0] != &words[0] {
+		t.Fatal("Reset within capacity reallocated")
+	}
+
+	// Growing past capacity allocates but still yields an empty set.
+	s.Add(42)
+	s.Reset(1000)
+	if s.Len() != 1000 || !s.Empty() {
+		t.Fatalf("Reset(1000): len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(999)
+	if !s.Contains(999) {
+		t.Fatal("grown set unusable")
+	}
+}
+
+func TestFreeList(t *testing.T) {
+	var f FreeList
+	a := f.Get(100)
+	if a.Len() != 100 || !a.Empty() {
+		t.Fatalf("fresh Get: len=%d empty=%v", a.Len(), a.Empty())
+	}
+	a.Add(7)
+	f.Put(a)
+	if f.Len() != 1 {
+		t.Fatalf("free list holds %d, want 1", f.Len())
+	}
+	// Same size class: recycled, contents unspecified (may be dirty).
+	b := f.Get(100)
+	if b != a {
+		t.Fatal("matching class was not recycled")
+	}
+	if f.Len() != 0 {
+		t.Fatal("recycled set still on the list")
+	}
+	// A different word-count class misses and allocates fresh.
+	f.Put(b)
+	c := f.Get(1000)
+	if c == b || c.Len() != 1000 {
+		t.Fatal("class mismatch must allocate")
+	}
+	// Same word count, different bit width: recycled with the new width.
+	e := f.Get(90) // 90 and 100 bits are both two words
+	if e != b || e.Len() != 90 {
+		t.Fatalf("width-compatible class not recycled (len=%d)", e.Len())
+	}
+	f.Put(nil) // must not panic
+}
+
+func TestNewBatch(t *testing.T) {
+	batch := NewBatch(5, 70)
+	if len(batch) != 5 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i := range batch {
+		if batch[i].Len() != 70 || !batch[i].Empty() {
+			t.Fatalf("batch[%d]: len=%d empty=%v", i, batch[i].Len(), batch[i].Empty())
+		}
+	}
+	// Sets must be independent despite the shared backing.
+	batch[1].Fill()
+	batch[2].Add(69)
+	if !batch[0].Empty() || !batch[3].Empty() {
+		t.Fatal("batch sets alias each other")
+	}
+	if batch[1].Count() != 70 || batch[2].Count() != 1 {
+		t.Fatalf("batch contents wrong: %d, %d", batch[1].Count(), batch[2].Count())
+	}
+	// The word slices are capacity-capped so one set cannot grow into
+	// its neighbor's words.
+	if cap(batch[0].Words()) != len(batch[0].Words()) {
+		t.Fatal("batch words not capacity-capped")
+	}
+	if out := NewBatch(0, 10); len(out) != 0 {
+		t.Fatal("empty batch")
+	}
+}
+
 func TestFillTrim(t *testing.T) {
 	for _, n := range []int{1, 63, 64, 65, 100, 128} {
 		s := New(n)

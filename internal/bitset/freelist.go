@@ -1,0 +1,59 @@
+package bitset
+
+// FreeList is a size-classed recycler for Sets, keyed by word-storage
+// capacity. It exists for search walks that create one tidset per
+// visited node but retain only the emitted ones (the ECLAT candidate
+// mine): recycling the non-emitted tidsets makes the steady-state walk
+// allocation-free.
+//
+// Ownership rule: a Set handed to Put must no longer be referenced by
+// the caller — the next Get may return it with different contents. Sets
+// that escape to a caller (emitted results) must simply never be Put.
+//
+// A FreeList is not safe for concurrent use; parallel walks keep one
+// per worker. The zero value is ready to use.
+type FreeList struct {
+	// classes[w] holds recycled sets whose word capacity is exactly w.
+	// In practice one walk uses a single width, so the map has one
+	// entry and lookups stay cheap.
+	classes map[int][]*Set
+}
+
+// Get returns a Set of width n bits, recycling one from the matching
+// size class when available. The bit contents of a recycled Set are
+// UNSPECIFIED: Get is intended for consumers that fully overwrite the
+// words (IntersectInto, Copy); call Reset or Clear first otherwise.
+func (f *FreeList) Get(n int) *Set {
+	w := (n + wordBits - 1) / wordBits
+	if list := f.classes[w]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		f.classes[w] = list[:len(list)-1]
+		s.words = s.words[:w]
+		s.n = n
+		return s
+	}
+	return New(n)
+}
+
+// Put recycles s into its size class. s must not be used afterwards.
+func (f *FreeList) Put(s *Set) {
+	if s == nil || cap(s.words) == 0 {
+		return
+	}
+	if f.classes == nil {
+		f.classes = make(map[int][]*Set)
+	}
+	w := cap(s.words)
+	f.classes[w] = append(f.classes[w], s)
+}
+
+// Len returns the total number of recycled sets currently held, for
+// tests and diagnostics.
+func (f *FreeList) Len() int {
+	n := 0
+	for _, list := range f.classes {
+		n += len(list)
+	}
+	return n
+}

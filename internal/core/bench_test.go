@@ -83,7 +83,9 @@ func BenchmarkMineExact(b *testing.B) {
 }
 
 // BenchmarkMineSelect measures full SELECT mining (scoring + re-check
-// rounds) serial vs parallel over a realistic candidate set.
+// rounds) serial vs parallel over a realistic candidate set. The k1
+// variants force one accepted rule per round — the many-cheap-rounds
+// shape that stresses the per-phase overhead of the persistent pool.
 func BenchmarkMineSelect(b *testing.B) {
 	d := plantedDataset(b, 77)
 	cands, err := MineCandidates(d, 1, 0, Parallel(1))
@@ -96,6 +98,8 @@ func BenchmarkMineSelect(b *testing.B) {
 	}{
 		{"serial", SelectOptions{K: 25, ParallelOptions: Parallel(1)}},
 		{"parallel", SelectOptions{K: 25}},
+		{"serial-k1", SelectOptions{K: 1, ParallelOptions: Parallel(1)}},
+		{"parallel-k1", SelectOptions{K: 1}},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
@@ -122,6 +126,10 @@ func BenchmarkMineGreedy(b *testing.B) {
 	}{
 		{"serial", GreedyOptions{ParallelOptions: Parallel(1)}},
 		{"parallel", GreedyOptions{}},
+		// Block-size sweep for the speculation window (results are
+		// identical; only waste-vs-granularity changes).
+		{"parallel-block64", GreedyOptions{BlockSize: 64}},
+		{"parallel-block2048", GreedyOptions{BlockSize: 2048}},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -33,21 +33,29 @@ func MineCandidates(d *dataset.Dataset, minSupport, maxResults int, par Parallel
 		Closed:     true,
 		TwoView:    true,
 		MaxResults: maxResults,
-		Workers:    par.Workers,
+		// Candidates carry per-view tidsets, not the joint ones, so the
+		// walk can recycle every tidset it touches.
+		DropTids: true,
+		Workers:  par.Workers,
+		Runtime:  par.runtime(),
 	})
 	if err != nil {
 		return nil, err
 	}
 	nLeft := d.Items(dataset.Left)
-	return pool.MapOrdered(par.Workers, len(fis), func(i int) Candidate {
-		x, y := eclat.Split(fis[i].Items, nLeft)
-		return Candidate{
-			X:    x,
-			Y:    y,
-			Supp: fis[i].Supp,
-			TidX: d.SupportSet(dataset.Left, x),
-			TidY: d.SupportSet(dataset.Right, y),
-		}
+	// Bulk-allocate the retained per-candidate tidsets (two per
+	// candidate) and split each mined itemset in place: the joined
+	// itemset is already a fresh, owned allocation (fis is discarded
+	// afterwards), so X and Y can alias its two halves. Each task
+	// touches only its own candidate's slots, so the parallel
+	// materialization stays deterministic.
+	tids := bitset.NewBatch(2*len(fis), d.Size())
+	return pool.MapOrderedOn(par.runtime(), par.Workers, len(fis), func(i int) Candidate {
+		x, y := eclat.SplitInPlace(fis[i].Items, nLeft)
+		tidX, tidY := &tids[2*i], &tids[2*i+1]
+		d.SupportSetInto(tidX, dataset.Left, x)
+		d.SupportSetInto(tidY, dataset.Right, y)
+		return Candidate{X: x, Y: y, Supp: fis[i].Supp, TidX: tidX, TidY: tidY}
 	}), nil
 }
 

@@ -66,8 +66,12 @@ func MineExact(d *dataset.Dataset, opt ExactOptions) *Result {
 	coder := mdl.NewCoder(d)
 	s := NewState(d, coder)
 	res := &Result{State: s}
+	// One worker pool serves every iteration's best-rule search: the
+	// per-worker states (and their per-depth DFS scratch) persist across
+	// iterations, and the phases run on the session's parked workers.
+	search := newExactRun(s, opt)
 	for opt.MaxRules == 0 || len(s.table.Rules) < opt.MaxRules {
-		r, gain, ok := bestRule(s, opt)
+		r, gain, ok := search.bestRule()
 		if !ok || gain <= gainEpsilon {
 			break
 		}
@@ -88,18 +92,33 @@ type joinedItem struct {
 	pot  float64     // ordering potential Σ_{t∈supp} tub(t_opposite)
 }
 
-// exactSearch carries the state of one best-rule search (one worker's
-// share of it when running in parallel).
-type exactSearch struct {
-	s     *State
-	opt   ExactOptions
+// exactRun is the cross-iteration context of one MineExact call: the
+// worker pool, the per-worker search states and the structures every
+// iteration's best-rule search shares. Building it once means worker
+// scratch (per-depth tidsets, itemset buffers) and the parked pool
+// workers are reused by all iterations.
+type exactRun struct {
+	s    *State
+	opt  ExactOptions
+	pool *pool.Pool[*exactSearch]
+
+	// items is rebuilt (re-sorted by potential) every iteration; the
+	// slice itself is reused. All worker states read it through the run.
 	items []joinedItem
 
-	// shared is the cross-worker incumbent gain; nil when serial.
+	// shared is the cross-worker incumbent gain, Reset between
+	// iterations; nil when serial.
 	shared *pool.Max
 
+	full, fullY, fullXY *bitset.Set // root tidsets, shared read-only
+}
+
+// exactSearch carries one worker's share of a best-rule search.
+type exactSearch struct {
+	*exactRun
+
 	// Per-depth scratch, so the DFS allocates only when it goes deeper
-	// than ever before.
+	// than ever before — across all iterations of the run.
 	levels []levelBufs
 	// Scratch singletons for the seed pass.
 	sx, sy [1]int
@@ -136,16 +155,48 @@ func (se *exactSearch) threshold() float64 {
 	return se.shared.Load()
 }
 
+// newExactRun builds the cross-iteration search context: the worker
+// pool (sized once — the set of occurring items never changes within
+// one MineExact call), the shared incumbent, and the root tidsets.
+func newExactRun(s *State, opt ExactOptions) *exactRun {
+	d := s.d
+	occurring := 0
+	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+		cols := d.Columns(v)
+		for i := 0; i < d.Items(v); i++ {
+			if !cols[i].Empty() {
+				occurring++
+			}
+		}
+	}
+	run := &exactRun{s: s, opt: opt}
+	workers := opt.workerCount(occurring)
+	if workers > 1 {
+		run.shared = new(pool.Max)
+	}
+	run.pool = pool.NewOn(opt.runtime(), workers, func(int) *exactSearch {
+		return &exactSearch{exactRun: run}
+	})
+	n := d.Size()
+	run.full = bitset.New(n)
+	run.full.Fill()
+	run.fullY, run.fullXY = run.full.Clone(), run.full.Clone()
+	return run
+}
+
 // bestRule returns argmax_r Δ_{D,T}(r) over all rules whose X∪Y occurs in
 // the data, with a deterministic tie-break. ok is false when the dataset
-// admits no rule at all. The search runs on an internal/pool worker pool
-// in two phases — singleton seeding, then one task per top-level DFS
-// branch (dynamic assignment: branch costs are heavily skewed toward
-// early items) — followed by a champion merge under the
-// (gain, Rule.Compare) total order.
-func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
+// admits no rule at all. The search runs on the run's worker pool in two
+// phases — singleton seeding, then one task per top-level DFS branch
+// (dynamic assignment: branch costs are heavily skewed toward early
+// items) — followed by a champion merge under the (gain, Rule.Compare)
+// total order.
+func (run *exactRun) bestRule() (Rule, float64, bool) {
+	s, opt := run.s, run.opt
 	d := s.d
-	var items []joinedItem
+	// Rebuild the item order: the potentials depend on the current
+	// state, so they change as rules are added. The slice is reused.
+	items := run.items[:0]
 	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
 		cols := d.Columns(v)
 		for i := 0; i < d.Items(v); i++ {
@@ -172,36 +223,32 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 		}
 		return ia.id < ib.id
 	})
+	run.items = items
 
-	n := d.Size()
-	full := bitset.New(n)
-	full.Fill()
-	fullY, fullXY := full.Clone(), full.Clone()
+	// Reset the per-iteration search state; worker scratch persists.
+	if run.shared != nil {
+		run.shared.Reset()
+	}
+	for _, se := range run.pool.States() {
+		se.best, se.bestGain, se.found = Rule{}, 0, false
+	}
 
 	// Root values of the incremental rub sums: both sides start at full
 	// support, so the sums cover every transaction of the target view.
 	var rootRX, rootLY float64
 	if !opt.DisableRub {
-		rootRX = s.SumTub(dataset.Right, full)
-		rootLY = s.SumTub(dataset.Left, full)
+		rootRX = s.SumTub(dataset.Right, run.full)
+		rootLY = s.SumTub(dataset.Left, run.full)
 	}
 
 	lefts, rights := splitViews(items)
-	workers := opt.workerCount(len(items))
-	var shared *pool.Max
-	if workers > 1 {
-		shared = new(pool.Max)
-	}
-	p := pool.New(workers, func(int) *exactSearch {
-		return &exactSearch{s: s, opt: opt, items: items, shared: shared}
-	})
 	// Seed phase: each task is one left singleton crossed with every
 	// right singleton. The resulting incumbent is a true gain, so pruning
 	// against it is sound — it just starts the DFS with a competitive
 	// threshold instead of zero, which the tub-based item order alone
 	// cannot guarantee. Exactness is unaffected: the DFS still visits
 	// every candidate subtree whose bound reaches the incumbent.
-	p.Run(len(lefts), func(se *exactSearch, i int) {
+	run.pool.Run(len(lefts), func(se *exactSearch, i int) {
 		for _, ri := range rights {
 			if !lefts[i].col.Intersects(ri.col) {
 				continue // the pair must occur in the data
@@ -212,8 +259,8 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 	// DFS phase: each task is one top-level branch (extend the empty
 	// pair with item k, then search positions > k). The root tidsets are
 	// only read, so all workers share them.
-	p.Run(len(items), func(se *exactSearch, k int) {
-		se.extend(nil, nil, full, fullY, fullXY, k, 0, 0, 0, rootRX, rootLY)
+	run.pool.Run(len(items), func(se *exactSearch, k int) {
+		se.extend(nil, nil, run.full, run.fullY, run.fullXY, k, 0, 0, 0, rootRX, rootLY)
 	})
 
 	// Champion merge under the same (gain, Rule.Compare) total order the
@@ -222,7 +269,7 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 	var best Rule
 	bestGain := 0.0
 	found := false
-	for _, se := range p.States() {
+	for _, se := range run.pool.States() {
 		if !se.found {
 			continue
 		}
@@ -232,6 +279,13 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 		}
 	}
 	return best, bestGain, found
+}
+
+// bestRule runs a single best-rule search on a transient run context,
+// for one-shot callers (tests, benchmarks); MineExact reuses one run
+// across its iterations instead.
+func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
+	return newExactRun(s, opt).bestRule()
 }
 
 // splitViews partitions the search items by view, preserving the global

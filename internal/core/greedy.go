@@ -29,6 +29,13 @@ import (
 type GreedyOptions struct {
 	// MaxRules stops after this many rules; 0 means no limit.
 	MaxRules int
+	// BlockSize caps the speculative scoring window: the number of
+	// candidates scored ahead per pool phase grows geometrically from 8
+	// up to this bound. 0 means the default of 512. The value trades
+	// re-scored waste on accept against scheduling granularity; results
+	// are identical for any value (window boundaries depend only on the
+	// accept positions, which are schedule-independent).
+	BlockSize int
 	// Trace observes each added rule.
 	Trace TraceFunc
 	// ParallelOptions sets the worker-pool size for speculative
@@ -37,14 +44,15 @@ type GreedyOptions struct {
 }
 
 // The speculation window grows geometrically from greedyMinBlock to
-// greedyMaxBlock: each accepted rule invalidates the rest of its block,
-// and accepts cluster at the head of the length/support-descending
-// candidate order, so the window restarts small after every accept and
-// doubles across accept-free blocks. Window boundaries depend only on
-// the accept positions — which are schedule-independent — never on the
-// worker count, so the scored values (and all decisions) are identical
-// for any parallelism; the sizes only trade re-scored waste on accept
-// against scheduling granularity.
+// GreedyOptions.BlockSize (default greedyMaxBlock): each accepted rule
+// invalidates the rest of its block, and accepts cluster at the head of
+// the length/support-descending candidate order, so the window restarts
+// small after every accept and doubles across accept-free blocks.
+// Window boundaries depend only on the accept positions — which are
+// schedule-independent — never on the worker count, so the scored
+// values (and all decisions) are identical for any parallelism; the
+// sizes only trade re-scored waste on accept against scheduling
+// granularity.
 const (
 	greedyMinBlock = 8
 	greedyMaxBlock = 512
@@ -91,7 +99,12 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 	// discarding on accept. Results are identical either way — every
 	// decision is made against the same state in the same order.
 	speculate := opt.workerCount(len(order)) > 1
-	pos, block := 0, greedyMinBlock
+	rt := opt.runtime()
+	maxBlock := opt.BlockSize
+	if maxBlock <= 0 {
+		maxBlock = greedyMaxBlock
+	}
+	pos, block := 0, min(greedyMinBlock, maxBlock)
 	for pos < len(order) {
 		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 			break
@@ -103,7 +116,7 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		// Speculatively score the block against the current state.
 		var scores []greedyScore
 		if speculate {
-			scores = pool.MapOrdered(opt.Workers, end-pos, func(i int) greedyScore {
+			scores = pool.MapOrderedOn(rt, opt.Workers, end-pos, func(i int) greedyScore {
 				return scoreGreedyCandidate(s, &cands[order[pos+i]])
 			})
 		}
@@ -111,7 +124,7 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		// speculative scores (the state changed), so the walk restarts
 		// right after it with a fresh, minimum-size block.
 		next := end
-		block = min(block*2, greedyMaxBlock)
+		block = min(block*2, maxBlock)
 		for j := pos; j < end; j++ {
 			var sc greedyScore
 			if speculate {
@@ -125,7 +138,7 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 			s.AddRule(sc.rule)
 			res.record(s, sc.rule, sc.gain, opt.Trace)
 			next = j + 1
-			block = greedyMinBlock
+			block = min(greedyMinBlock, maxBlock)
 			break
 		}
 		pos = next

@@ -2,6 +2,44 @@ package core
 
 import "twoview/internal/pool"
 
+// Session owns a persistent worker runtime for a whole mining session:
+// candidate mining plus any number of MineExact / MineSelect /
+// MineGreedy calls submit their parallel phases to one set of
+// long-lived, parked workers instead of launching goroutines per round.
+// Carry it in ParallelOptions.Session and Close it when the session is
+// over; a nil Session means the shared package-wide runtime, which is
+// also persistent but never shuts down.
+//
+// Sessions only change where the work runs, never what it computes:
+// the determinism contract (results bit-identical for every worker
+// count) holds with or without one.
+type Session struct {
+	rt *pool.Runtime
+}
+
+// NewSession starts a session with its own worker runtime. Workers are
+// spawned lazily by the first parallel phase and grow to the largest
+// worker count any call requests.
+func NewSession() *Session {
+	return &Session{rt: pool.NewRuntime()}
+}
+
+// Close shuts the session's workers down. The session must not be used
+// afterwards. Close on a nil Session is a no-op.
+func (s *Session) Close() {
+	if s != nil && s.rt != nil {
+		s.rt.Close()
+	}
+}
+
+// runtime resolves the session to a pool runtime (nil-safe).
+func (s *Session) runtime() *pool.Runtime {
+	if s == nil || s.rt == nil {
+		return pool.Default()
+	}
+	return s.rt
+}
+
 // ParallelOptions is the shared concurrency knob embedded by every
 // miner's options (ExactOptions, SelectOptions, GreedyOptions) and
 // accepted by candidate mining. All parallel paths go through
@@ -12,6 +50,9 @@ type ParallelOptions struct {
 	// parallelism (no goroutines are spawned). Results are identical
 	// regardless of the value.
 	Workers int
+	// Session is the persistent worker runtime to run on; nil means the
+	// shared package-wide runtime. See Session.
+	Session *Session
 }
 
 // Parallel returns a ParallelOptions with the given worker count, for
@@ -24,3 +65,6 @@ func Parallel(workers int) ParallelOptions {
 func (o ParallelOptions) workerCount(tasks int) int {
 	return pool.Size(o.Workers, tasks)
 }
+
+// runtime resolves the session to a pool runtime.
+func (o ParallelOptions) runtime() *pool.Runtime { return o.Session.runtime() }

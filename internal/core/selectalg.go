@@ -54,6 +54,9 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 	s := NewState(d, coder)
 	res := &Result{State: s}
 
+	// All rounds submit their phases to one persistent runtime: the
+	// workers park between rounds instead of being relaunched.
+	rt := opt.runtime()
 	scored := make([]scoredRule, 0, 3*len(cands))
 	for {
 		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
@@ -61,7 +64,7 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 		}
 		// Line 3: select the k rules with the highest Δ_{D,T} among all
 		// rules constructible from the candidates.
-		scored = scoreCandidates(s, cands, scored[:0], opt.Workers)
+		scored = scoreCandidates(rt, s, cands, scored[:0], opt.Workers)
 		if len(scored) == 0 {
 			break
 		}
@@ -80,7 +83,7 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 		// walk computes each needed gain lazily at its turn instead.
 		var gains []float64
 		if opt.workerCount(len(scored)) > 1 {
-			gains = recheckGains(s, cands, scored, opt.Workers)
+			gains = recheckGains(rt, s, cands, scored, opt.Workers)
 		}
 
 		// Lines 5-10: add the selected rules, skipping rules whose
@@ -136,12 +139,12 @@ const scoreChunk = 256
 // and their outputs concatenated in chunk order — i.e. candidate index
 // order, exactly what the serial path appends directly; the caller's
 // subsequent sort imposes a total order on top.
-func scoreCandidates(s *State, cands []Candidate, dst []scoredRule, workers int) []scoredRule {
+func scoreCandidates(rt *pool.Runtime, s *State, cands []Candidate, dst []scoredRule, workers int) []scoredRule {
 	tasks := (len(cands) + scoreChunk - 1) / scoreChunk
 	if pool.Size(workers, tasks) <= 1 {
 		return scoreRange(s, cands, 0, len(cands), dst)
 	}
-	return pool.MapChunksInto(dst, workers, len(cands), scoreChunk, func(lo, hi int) []scoredRule {
+	return pool.MapChunksIntoOn(rt, dst, workers, len(cands), scoreChunk, func(lo, hi int) []scoredRule {
 		return scoreRange(s, cands, lo, hi, nil)
 	})
 }
@@ -158,8 +161,8 @@ func scoreCandidates(s *State, cands []Candidate, dst []scoredRule, workers int)
 // the walk as at the start of the round, so the gain computed here is
 // bit-identical to the one the serial loop would compute mid-round.
 // Rules that fail the filter never have their gain consulted.
-func recheckGains(s *State, cands []Candidate, scored []scoredRule, workers int) []float64 {
-	return pool.MapOrdered(workers, len(scored), func(i int) float64 {
+func recheckGains(rt *pool.Runtime, s *State, cands []Candidate, scored []scoredRule, workers int) []float64 {
+	return pool.MapOrderedOn(rt, workers, len(scored), func(i int) float64 {
 		c := &cands[scored[i].cand]
 		return s.GainWithTids(scored[i].rule, c.TidX, c.TidY)
 	})

@@ -26,8 +26,16 @@ import (
 // as -workers.
 var Workers int
 
+// Session is the persistent worker runtime the runners mine on; nil
+// means the shared package-wide runtime. A caller running a long batch
+// of experiments can install one (and Close it afterwards) so every
+// table and figure reuses the same parked workers.
+var Session *core.Session
+
 // par returns the shared ParallelOptions of the runners.
-func par() core.ParallelOptions { return core.Parallel(Workers) }
+func par() core.ParallelOptions {
+	return core.ParallelOptions{Workers: Workers, Session: Session}
+}
 
 // Gen materializes a profile at the given scale.
 func Gen(p synth.Profile, scale float64) (*dataset.Dataset, []core.Rule, error) {

@@ -15,6 +15,13 @@
 // MaxResults overflow guard counts emissions through a shared
 // pool.Counter; it trips in every schedule iff the total number of
 // results exceeds the cap, so success/failure is deterministic too.
+//
+// The walk is allocation-free in steady state: each worker recycles the
+// tidsets of non-emitted nodes through a bitset.FreeList and builds
+// candidate itemsets in per-depth scratch buffers, so the only
+// allocations that survive warm-up are the emitted results themselves
+// (and none at all under DropTids). Emitted tidsets and itemsets are
+// caller-owned and never recycled.
 package eclat
 
 import (
@@ -32,7 +39,7 @@ import (
 type FI struct {
 	Items itemset.Itemset // joined ids, canonical
 	Supp  int             // |supp(Items)| over the joined data
-	Tids  *bitset.Set     // supporting transactions
+	Tids  *bitset.Set     // supporting transactions (nil under DropTids)
 }
 
 // Split separates a joined itemset into its left and right parts, undoing
@@ -44,6 +51,19 @@ func Split(joined itemset.Itemset, nLeft int) (x, y itemset.Itemset) {
 		} else {
 			y = append(y, i-nLeft)
 		}
+	}
+	return x, y
+}
+
+// SplitInPlace is Split without the allocations: x aliases the left half
+// of joined (capacity-capped) and y its right half with the offset
+// removed by mutating joined. The caller must own joined and not use it
+// afterwards.
+func SplitInPlace(joined itemset.Itemset, nLeft int) (x, y itemset.Itemset) {
+	split := sort.SearchInts(joined, nLeft)
+	x, y = joined[:split:split], joined[split:]
+	for k := range y {
+		y[k] -= nLeft
 	}
 	return x, y
 }
@@ -63,10 +83,19 @@ type Options struct {
 	// MaxResults aborts mining with an error when exceeded; it protects
 	// against accidental pattern explosions. 0 means unbounded.
 	MaxResults int
+	// DropTids omits the supporting tidsets from the results (FI.Tids
+	// is nil). Callers that only need the itemsets and supports — the
+	// candidate mine derives per-view tidsets separately — should set
+	// it: every walk tidset then recycles through the free-list and the
+	// mine allocates almost nothing beyond the output itself.
+	DropTids bool
 	// Workers sets the worker-pool size for the tidset-intersection
 	// walk: 0 means GOMAXPROCS, 1 disables parallelism. The mined set
 	// is identical for any value.
 	Workers int
+	// Runtime is the persistent worker runtime to run the walk on; nil
+	// means the shared pool.Default runtime.
+	Runtime *pool.Runtime
 }
 
 // walk is everything the depth-first search reads but never writes: it is
@@ -122,17 +151,22 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 
 	// One task per top-level branch, dynamically scheduled (branch sizes
 	// are heavily skewed toward the rare early items); each worker
-	// appends to its own miner.out.
+	// appends to its own miner.out and recycles through its own
+	// free-list.
 	workers := pool.Size(opt.Workers, len(w.order))
-	p := pool.New(workers, func(int) *miner { return &miner{walk: w} })
+	p := pool.NewOn(opt.Runtime, workers, func(int) *miner { return &miner{walk: w} })
 	err := p.RunErr(len(w.order), func(mi *miner, k int) error {
-		return mi.branch(nil, all, k)
+		return mi.branch(nil, all, k, 0)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var out []FI
+	total := 0
+	for _, mi := range p.States() {
+		total += len(mi.out)
+	}
+	out := make([]FI, 0, total)
 	for _, mi := range p.States() {
 		out = append(out, mi.out...)
 	}
@@ -146,17 +180,32 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 }
 
 // miner is one worker's share of the walk: the shared read-only
-// structures plus a private output slice.
+// structures plus a private output slice and private recycling scratch
+// (the free-list of node tidsets and the per-depth itemset buffers).
 type miner struct {
 	*walk
 	out []FI
+
+	free bitset.FreeList   // tidsets of non-emitted nodes, recycled
+	sets []itemset.Itemset // per-depth candidate/closure scratch
+}
+
+// scratch returns the (emptied) itemset buffer of the given depth,
+// allocating only when the walk goes deeper than ever before on this
+// worker.
+func (m *miner) scratch(depth int) itemset.Itemset {
+	for len(m.sets) <= depth {
+		m.sets = append(m.sets, nil)
+	}
+	return m.sets[depth][:0]
 }
 
 // dfs grows the current itemset (cur, with tidset tids) by items at order
-// positions ≥ start.
-func (m *miner) dfs(cur itemset.Itemset, tids *bitset.Set, start int) error {
+// positions ≥ start. depth is the recursion level, used to select the
+// per-depth scratch buffers.
+func (m *miner) dfs(cur itemset.Itemset, tids *bitset.Set, start, depth int) error {
 	for k := start; k < len(m.order); k++ {
-		if err := m.branch(cur, tids, k); err != nil {
+		if err := m.branch(cur, tids, k, depth); err != nil {
 			return err
 		}
 	}
@@ -169,19 +218,30 @@ func (m *miner) dfs(cur itemset.Itemset, tids *bitset.Set, start int) error {
 // extension must not contain any item that precedes the generating item
 // in the search order, otherwise the branch duplicates an
 // already-explored closed set.
-func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k int) error {
+//
+// Scratch discipline: the extended itemset lives in this depth's scratch
+// buffer (siblings at the same depth overwrite it only after the subtree
+// below has returned) and the child tidset comes from the worker's
+// free-list. Both are cloned, or handed over, only on emission —
+// everything else recycles, so the steady-state walk does not allocate.
+func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k, depth int) error {
 	it := m.order[k]
 	if cur.Contains(it) {
 		return nil // already absorbed by a closure on this path
 	}
-	child := bitset.New(m.d.Size())
+	// The child tidset is fully overwritten by the intersection, so a
+	// recycled set needs no clearing.
+	child := m.free.Get(m.d.Size())
 	bitset.IntersectInto(child, tids, m.cols[it])
 	supp := child.Count()
 	if supp < m.opt.MinSupport {
+		m.free.Put(child)
 		return nil
 	}
-	cand := insertSorted(cur, it)
+	cand := insertSortedInto(m.scratch(depth), cur, it)
 	if m.opt.MaxItems > 0 && len(cand) > m.opt.MaxItems {
+		m.sets[depth] = cand
+		m.free.Put(child)
 		return nil
 	}
 	next := cand
@@ -193,6 +253,8 @@ func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k int) error {
 			// cand, so this branch (and every extension, whose
 			// closure would contain that item too) duplicates an
 			// already-explored closed set.
+			m.sets[depth] = cand
+			m.free.Put(child)
 			return nil
 		}
 		next, emit = closure, closure
@@ -200,20 +262,35 @@ func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k int) error {
 			emit = nil // closure outgrew the bound; recurse only
 		}
 	}
+	m.sets[depth] = next // remember grown capacity for reuse
+	retained := false
 	if emit != nil && (!m.opt.TwoView || m.isTwoView(emit)) {
-		m.out = append(m.out, FI{Items: emit, Supp: supp, Tids: child})
+		fi := FI{Items: emit.Clone(), Supp: supp}
+		if !m.opt.DropTids {
+			fi.Tids = child
+			retained = true
+		}
+		m.out = append(m.out, fi)
 		if m.opt.MaxResults > 0 && int(m.emitted.Add()) > m.opt.MaxResults {
 			return fmt.Errorf("eclat: more than %d itemsets; raise MinSupport", m.opt.MaxResults)
 		}
 	}
-	return m.dfs(next, child, k+1)
+	err := m.dfs(next, child, k+1, depth+1)
+	if !retained {
+		m.free.Put(child)
+	}
+	return err
 }
 
-// closure returns cur extended with every item whose tidset is a superset
+// closure extends cur in place with every item whose tidset is a superset
 // of tids. ok is false when some such item precedes position k in the
-// search order without being in cur (the ppc test).
+// search order without being in cur (the ppc test). cur must live in the
+// caller's scratch buffer; the returned slice is the (possibly regrown)
+// same buffer.
 func (m *miner) closure(cur itemset.Itemset, tids *bitset.Set, k int) (itemset.Itemset, bool) {
-	closure := cur
+	// Each order position is visited once, so testing Contains against
+	// the growing set is equivalent to testing against the original cur:
+	// an item added by this loop is never revisited.
 	for r, it := range m.order {
 		if cur.Contains(it) {
 			continue
@@ -222,20 +299,31 @@ func (m *miner) closure(cur itemset.Itemset, tids *bitset.Set, k int) (itemset.I
 			if r < k {
 				return nil, false
 			}
-			closure = insertSorted(closure, it)
+			cur = insertInPlace(cur, it)
 		}
 	}
-	return closure, true
+	return cur, true
 }
 
 func (m *miner) isTwoView(s itemset.Itemset) bool {
 	return len(s) >= 2 && s[0] < m.nLeft && s[len(s)-1] >= m.nLeft
 }
 
-func insertSorted(s itemset.Itemset, x int) itemset.Itemset {
+// insertSortedInto writes s ∪ {x} into dst (which must be empty and must
+// not alias s), reusing dst's capacity.
+func insertSortedInto(dst, s itemset.Itemset, x int) itemset.Itemset {
 	i := sort.SearchInts(s, x)
-	out := make(itemset.Itemset, 0, len(s)+1)
-	out = append(out, s[:i]...)
-	out = append(out, x)
-	return append(out, s[i:]...)
+	dst = append(dst, s[:i]...)
+	dst = append(dst, x)
+	return append(dst, s[i:]...)
+}
+
+// insertInPlace inserts x into the sorted set s, shifting the tail right;
+// it allocates only when s must grow beyond its capacity.
+func insertInPlace(s itemset.Itemset, x int) itemset.Itemset {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
 }

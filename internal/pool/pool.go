@@ -3,6 +3,25 @@
 // branch-and-bound, TRANSLATOR-SELECT scoring and re-checking,
 // TRANSLATOR-GREEDY block scoring, and the ECLAT candidate walk.
 //
+// # Persistent runtime
+//
+// All parallel execution happens on a Runtime: a set of long-lived
+// worker goroutines parked on a run queue. Pool.Run, Pool.RunErr,
+// MapOrdered and MapChunksInto are *phases* — batches of dynamically
+// scheduled tasks — submitted to an already-running Runtime, so the
+// round-structured searches (SELECT re-scores every candidate each
+// round, GREEDY scores block after block, EXACT runs a seed and a DFS
+// phase per added rule) pay a channel handoff per phase instead of a
+// goroutine launch per worker per phase. Parked workers also keep their
+// grown stacks, which the deeply recursive searches would otherwise
+// re-grow on every fresh goroutine.
+//
+// A lazily started package-wide Runtime (Default) serves callers that
+// do not manage one; long mining sessions can own a private Runtime
+// (see core.Session) and Close it when done.
+//
+// # Determinism contract
+//
 // All primitives share one determinism contract: the values a caller
 // observes are bit-identical for every worker count, including 1.
 // The contract rests on three rules that every primitive enforces:
@@ -48,6 +67,218 @@ func Size(workers, tasks int) int {
 	return workers
 }
 
+// Runtime is a persistent set of parked worker goroutines fed by a run
+// queue. Workers are spawned lazily, on the first phase that needs
+// them, and grow to the largest concurrency any phase has requested;
+// between phases they block on a channel receive (parked), costing
+// nothing. A Runtime is safe for concurrent use; phases submitted
+// concurrently share the workers.
+//
+// The zero Runtime is not usable; use NewRuntime, or Default for the
+// shared package-wide instance.
+type Runtime struct {
+	jobs chan *phaseJob
+	done chan struct{} // closed by Close; jobs itself is never closed
+
+	mu      sync.Mutex
+	spawned int  // background workers launched so far
+	demand  int  // helpers wanted by phases currently in flight
+	closed  bool // no further submissions allowed
+}
+
+// NewRuntime returns a new, empty runtime. Workers are spawned on
+// demand by the phases submitted to it. Call Close when no more phases
+// will be submitted; the package Default runtime is never closed.
+func NewRuntime() *Runtime {
+	return &Runtime{jobs: make(chan *phaseJob), done: make(chan struct{})}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultRT   *Runtime
+)
+
+// Default returns the shared package-wide runtime, starting it on first
+// use. It is never closed; its workers park between phases.
+func Default() *Runtime {
+	defaultOnce.Do(func() { defaultRT = NewRuntime() })
+	return defaultRT
+}
+
+// Close shuts the runtime down: parked workers exit, and submitting a
+// new phase panics. Close is idempotent and safe against in-flight
+// phases: the jobs channel is never closed (workers and recruiting
+// submitters select on the done channel instead), so a phase racing
+// Close simply stops recruiting helpers and finishes its tasks on the
+// submitting goroutine.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.closed {
+		rt.closed = true
+		close(rt.done)
+	}
+}
+
+// reserve registers a phase's helper demand and grows the worker set to
+// cover the demand of every phase in flight, so concurrent submitters
+// never compete for the same parked workers: each phase's recruitment
+// sends are matched by workers reserved for it. Parked workers are
+// never torn down between phases (that is the point of the runtime), so
+// spawned only grows, up to the peak concurrent demand.
+func (rt *Runtime) reserve(n int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		panic("pool: phase submitted to a closed Runtime")
+	}
+	rt.demand += n
+	for rt.spawned < rt.demand {
+		rt.spawned++
+		go rt.worker()
+	}
+}
+
+// release returns a phase's helper demand after its barrier.
+func (rt *Runtime) release(n int) {
+	rt.mu.Lock()
+	rt.demand -= n
+	rt.mu.Unlock()
+}
+
+// worker is the body of one persistent background worker: park on the
+// run queue, execute a share of the received phase, park again.
+func (rt *Runtime) worker() {
+	for {
+		select {
+		case job := <-rt.jobs:
+			job.run()
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// phase executes fn(slot, t) for every t in [0, tasks) with up to
+// `slots` concurrent executors: the calling goroutine plus at most
+// slots-1 recruited workers. Task indices are dispensed dynamically;
+// slot indices in [0, slots) identify executors, not fixed workers. A
+// task returning false stops the dispensing of new tasks (running ones
+// finish). phase returns when every dispensed task has finished — a
+// barrier, so consecutive phases are sequential and their writes are
+// visible to each other. A panic in a task cancels the phase and is
+// re-raised on the calling goroutine; the runtime's workers survive.
+//
+// With slots <= 1 (or a single task) the phase runs inline on the
+// calling goroutine: genuinely serial, no goroutines, no atomics.
+func (rt *Runtime) phase(slots, tasks int, fn func(slot, task int) bool) {
+	if tasks <= 0 {
+		return
+	}
+	helpers := slots - 1
+	if helpers > tasks-1 {
+		helpers = tasks - 1
+	}
+	if helpers <= 0 {
+		for t := 0; t < tasks; t++ {
+			if !fn(0, t) {
+				return
+			}
+		}
+		return
+	}
+	rt.reserve(helpers)
+	defer rt.release(helpers)
+	j := &phaseJob{fn: fn, tasks: tasks, slots: int32(helpers + 1)}
+	j.wg.Add(tasks)
+	// Recruit helpers by handing the job to parked workers; reserve
+	// guarantees enough workers exist for every phase in flight, so the
+	// rendezvous sends complete promptly. If the runtime is closed
+	// mid-phase, recruitment stops and the submitter finishes the tasks
+	// itself (the per-task barrier does not count helpers).
+recruit:
+	for i := 0; i < helpers; i++ {
+		select {
+		case rt.jobs <- j:
+		case <-rt.done:
+			break recruit
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	if p := j.panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// phaseJob is one submitted phase. Completion is tracked per task: the
+// WaitGroup starts at `tasks`, every finished task decrements it, and
+// stop refunds the tasks that will never be dispensed, so the barrier
+// in phase releases exactly when all dispensed work is done.
+type phaseJob struct {
+	fn    func(slot, task int) bool
+	tasks int
+	slots int32
+
+	nextTask atomic.Int64 // tasks dispensed so far (may overshoot)
+	nextSlot atomic.Int32
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	panicked atomic.Pointer[panicValue]
+}
+
+type panicValue struct{ val any }
+
+// stopCutoff is added to nextTask on stop; it exceeds any real task
+// count, so every subsequent pull sees an exhausted phase.
+const stopCutoff = int64(1) << 40
+
+// stop cancels the dispensing of new tasks and refunds the undispensed
+// ones to the completion barrier. Tasks already running finish and
+// account for themselves.
+func (j *phaseJob) stop() {
+	j.stopOnce.Do(func() {
+		dispensed := j.nextTask.Swap(stopCutoff)
+		if dispensed < int64(j.tasks) {
+			j.wg.Add(-(j.tasks - int(dispensed)))
+		}
+	})
+}
+
+// run is one executor's share of the phase: claim a slot, pull tasks
+// until exhausted or stopped. Executors beyond the slot budget (which
+// cannot happen with channel recruitment, but is guarded anyway) do not
+// participate. A panicking task records the first panic, cancels the
+// phase, and leaves the executing worker healthy.
+func (j *phaseJob) run() {
+	slot := int(j.nextSlot.Add(1)) - 1
+	if slot >= int(j.slots) {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			j.panicked.CompareAndSwap(nil, &panicValue{val: p})
+			j.stop()
+			j.wg.Done() // the panicked task was dispensed but never finished
+		}
+	}()
+	for {
+		// Compare in int64: after stop() the counter holds stopCutoff,
+		// which must not be truncated into a small valid index on
+		// 32-bit platforms.
+		t64 := j.nextTask.Add(1) - 1
+		if t64 >= int64(j.tasks) {
+			return
+		}
+		keep := j.fn(slot, int(t64))
+		j.wg.Done()
+		if !keep {
+			j.stop()
+			return
+		}
+	}
+}
+
 // Max publishes a monotonically increasing non-negative float64 across
 // workers as the bit pattern of an atomic uint64. Non-negative IEEE-754
 // values order exactly like their unsigned bit patterns, which makes the
@@ -76,6 +307,12 @@ func (m *Max) Raise(v float64) {
 	}
 }
 
+// Reset drops the published value back to 0, for reusing one Max across
+// sequential searches (e.g. the per-iteration best-rule searches of one
+// mining session). It must not race with Raise or Load; the phase
+// barrier between searches provides that.
+func (m *Max) Reset() { m.bits.Store(0) }
+
 // Counter is a shared monotone event counter (e.g. results emitted so
 // far across all workers). Deterministic uses are limited to threshold
 // tests whose outcome does not depend on which worker contributed which
@@ -93,26 +330,38 @@ func (c *Counter) Load() int64 { return c.n.Load() }
 // per-worker states. It is the shape used by searches that accumulate a
 // champion or a result list per worker and merge afterwards: build the
 // pool once, run one or more task phases, then fold States() under a
-// total order.
+// total order. The phases execute on the pool's Runtime; worker states
+// are handed to whichever executor claims the matching slot, which the
+// determinism rules make unobservable.
 //
 // With one worker every phase executes inline on the calling goroutine,
 // so Workers==1 is genuinely serial (no goroutines, no atomics beyond
 // the task counter).
 type Pool[S any] struct {
+	rt     *Runtime
 	states []S
 }
 
-// New builds a pool of `workers` states, each created by mk (called with
-// the worker index, in order, on the calling goroutine).
+// New builds a pool of `workers` states on the Default runtime, each
+// state created by mk (called with the worker index, in order, on the
+// calling goroutine).
 func New[S any](workers int, mk func(w int) S) *Pool[S] {
+	return NewOn[S](nil, workers, mk)
+}
+
+// NewOn is New on an explicit runtime; rt == nil means Default.
+func NewOn[S any](rt *Runtime, workers int, mk func(w int) S) *Pool[S] {
 	if workers < 1 {
 		workers = 1
+	}
+	if rt == nil {
+		rt = Default()
 	}
 	states := make([]S, workers)
 	for w := range states {
 		states[w] = mk(w)
 	}
-	return &Pool[S]{states: states}
+	return &Pool[S]{rt: rt, states: states}
 }
 
 // States returns the per-worker states in worker order, for merging
@@ -132,22 +381,10 @@ func (p *Pool[S]) Run(tasks int, fn func(s S, task int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := range p.states {
-		wg.Add(1)
-		go func(s S) {
-			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= tasks {
-					return
-				}
-				fn(s, t)
-			}
-		}(p.states[w])
-	}
-	wg.Wait()
+	p.rt.phase(len(p.states), tasks, func(slot, t int) bool {
+		fn(p.states[slot], t)
+		return true
+	})
 }
 
 // RunErr is Run for fallible tasks. After the first failure no new
@@ -167,44 +404,38 @@ func (p *Pool[S]) RunErr(tasks int, fn func(s S, task int) error) error {
 		return nil
 	}
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		errAt  = -1
-		first  error
+		mu    sync.Mutex
+		errAt = -1
+		first error
 	)
-	for w := range p.states {
-		wg.Add(1)
-		go func(s S) {
-			defer wg.Done()
-			for !failed.Load() {
-				t := int(next.Add(1)) - 1
-				if t >= tasks {
-					return
-				}
-				if err := fn(s, t); err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if errAt < 0 || t < errAt {
-						errAt, first = t, err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}(p.states[w])
-	}
-	wg.Wait()
+	p.rt.phase(len(p.states), tasks, func(slot, t int) bool {
+		err := fn(p.states[slot], t)
+		if err == nil {
+			return true
+		}
+		mu.Lock()
+		if errAt < 0 || t < errAt {
+			errAt, first = t, err
+		}
+		mu.Unlock()
+		return false
+	})
 	return first
 }
 
 // MapOrdered returns out with out[i] = fn(i) for i in [0, n), computed
-// by `workers` goroutines pulling indices dynamically. Each index writes
-// only its own slot, so the result is independent of the worker count.
-// Intended for expensive per-item work (gain evaluations); for cheap
-// per-item work over large n, prefer MapChunksInto.
+// on the Default runtime by up to `workers` executors pulling indices
+// dynamically. Each index writes only its own slot, so the result is
+// independent of the worker count. Intended for expensive per-item work
+// (gain evaluations); for cheap per-item work over large n, prefer
+// MapChunksInto.
 func MapOrdered[T any](workers, n int, fn func(i int) T) []T {
+	return MapOrderedOn(nil, workers, n, fn)
+}
+
+// MapOrderedOn is MapOrdered on an explicit runtime; rt == nil means
+// Default.
+func MapOrderedOn[T any](rt *Runtime, workers, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	workers = Size(workers, n)
 	if workers == 1 {
@@ -213,33 +444,31 @@ func MapOrdered[T any](workers, n int, fn func(i int) T) []T {
 		}
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = fn(i)
-			}
-		}()
+	if rt == nil {
+		rt = Default()
 	}
-	wg.Wait()
+	rt.phase(workers, n, func(_, i int) bool {
+		out[i] = fn(i)
+		return true
+	})
 	return out
 }
 
 // MapChunksInto splits [0, n) into fixed-size chunks, applies fn to
-// each chunk (dynamically scheduled), and appends the per-chunk slices
-// to dst in chunk order, so callers invoking it repeatedly (e.g. once
-// per search round) can reuse one destination buffer. Because the chunk
-// size is a caller-fixed constant — never derived from the worker count
-// — both the per-chunk computations and the concatenation order are
-// identical for every worker count.
+// each chunk (dynamically scheduled on the Default runtime), and
+// appends the per-chunk slices to dst in chunk order, so callers
+// invoking it repeatedly (e.g. once per search round) can reuse one
+// destination buffer. Because the chunk size is a caller-fixed constant
+// — never derived from the worker count — both the per-chunk
+// computations and the concatenation order are identical for every
+// worker count.
 func MapChunksInto[T any](dst []T, workers, n, chunk int, fn func(lo, hi int) []T) []T {
+	return MapChunksIntoOn(nil, dst, workers, n, chunk, fn)
+}
+
+// MapChunksIntoOn is MapChunksInto on an explicit runtime; rt == nil
+// means Default.
+func MapChunksIntoOn[T any](rt *Runtime, dst []T, workers, n, chunk int, fn func(lo, hi int) []T) []T {
 	if n <= 0 {
 		return dst
 	}
@@ -251,14 +480,17 @@ func MapChunksInto[T any](dst []T, workers, n, chunk int, fn func(lo, hi int) []
 		return append(dst, fn(0, n)...)
 	}
 	parts := make([][]T, tasks)
-	p := New(Size(workers, tasks), func(int) struct{} { return struct{}{} })
-	p.Run(tasks, func(_ struct{}, t int) {
+	if rt == nil {
+		rt = Default()
+	}
+	rt.phase(Size(workers, tasks), tasks, func(_, t int) bool {
 		lo := t * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		parts[t] = fn(lo, hi)
+		return true
 	})
 	total := 0
 	for _, part := range parts {

@@ -11,8 +11,11 @@ func TestSize(t *testing.T) {
 	for _, tc := range []struct{ workers, tasks, min, max int }{
 		{1, 100, 1, 1},
 		{4, 100, 4, 4},
-		{4, 2, 2, 2},
-		{0, 0, 1, 1},
+		{4, 2, 2, 2},             // workers > tasks: capped at tasks
+		{7, 3, 3, 3},             // workers > tasks again
+		{0, 0, 1, 1},             // tasks == 0: still at least one worker
+		{4, 0, 1, 1},             // tasks == 0 with explicit workers
+		{1, 0, 1, 1},             // tasks == 0, serial
 		{0, 1 << 30, 1, 1 << 30}, // 0 → GOMAXPROCS, whatever it is
 		{-3, 5, 1, 5},
 	} {
