@@ -83,7 +83,7 @@ func Mine(d *dataset.Dataset, opt Options) []Redescription {
 			if colsR[j].Empty() {
 				continue
 			}
-			inter := bitset.IntersectCount(colsL[i], colsR[j])
+			inter := bitset.AndCount(colsL[i], colsR[j])
 			if inter < opt.MinSupport {
 				continue
 			}
@@ -162,7 +162,7 @@ func extend(d *dataset.Dataset, x, y itemset.Itemset, opt Options) *Redescriptio
 			break
 		}
 	}
-	inter := bitset.IntersectCount(suppX, suppY)
+	inter := bitset.AndCount(suppX, suppY)
 	if cur < opt.MinJaccard || inter < opt.MinSupport {
 		return nil
 	}
@@ -182,7 +182,7 @@ func bestExtension(d *dataset.Dataset, v dataset.View, q itemset.Itemset, suppQ,
 			continue
 		}
 		bitset.IntersectInto(probe, suppQ, cols[i])
-		inter := bitset.IntersectCount(probe, suppOther)
+		inter := bitset.AndCount(probe, suppOther)
 		if inter < minSupp {
 			continue
 		}
@@ -196,7 +196,7 @@ func bestExtension(d *dataset.Dataset, v dataset.View, q itemset.Itemset, suppQ,
 }
 
 func jaccard(a, b *bitset.Set) float64 {
-	inter := bitset.IntersectCount(a, b)
+	inter := bitset.AndCount(a, b)
 	union := a.Count() + b.Count() - inter
 	if union == 0 {
 		return 0

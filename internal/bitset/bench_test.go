@@ -15,13 +15,13 @@ func randomSet(r *rand.Rand, n int, density float64) *Set {
 	return s
 }
 
-func BenchmarkIntersectCount(b *testing.B) {
+func BenchmarkAndCount(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	x := randomSet(r, 50_000, 0.2)
 	y := randomSet(r, 50_000, 0.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		IntersectCount(x, y)
+		AndCount(x, y)
 	}
 }
 

@@ -12,6 +12,10 @@ import (
 
 const wordBits = 64
 
+// WordBits is the width of one storage word, for hot loops that walk
+// Words() directly and need to convert word indices to bit positions.
+const WordBits = wordBits
+
 // Set is a fixed-width bitmap. The zero value is an empty set of width 0;
 // use New to create a set of a given width. Bits at positions >= width are
 // always zero (maintained as an invariant by all operations).
@@ -229,14 +233,43 @@ func IntersectIntoSum(dst, a, b *Set, w []float64) float64 {
 	return total
 }
 
-// IntersectCount returns |a ∩ b| without allocating.
-func IntersectCount(a, b *Set) int {
+// AndCount returns |a ∩ b| in one fused pass: no temporary set, one
+// popcount per word. It is the kernel behind the columnar cover state's
+// "items that become covered" count.
+func AndCount(a, b *Set) int {
 	a.mustMatch(b)
 	c := 0
 	for i := range a.words {
 		c += bits.OnesCount64(a.words[i] & b.words[i])
 	}
 	return c
+}
+
+// AndNotCount returns |a \ b| in one fused pass.
+func AndNotCount(a, b *Set) int {
+	a.mustMatch(b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] &^ b.words[i])
+	}
+	return c
+}
+
+// AndNotAndNotCount returns |a \ (b ∪ c)| in one fused pass: no
+// temporary set, single loop, one popcount per word. It is the kernel
+// behind the columnar cover state's "items that become errors" count
+// (transactions in the support that neither contain the item nor
+// already carry it as an error). Note ^b and ^c set the dead bits past
+// the width, but a's trailing word keeps them zero (the package-wide
+// invariant), so the conjunction masks them back out.
+func AndNotAndNotCount(a, b, c *Set) int {
+	a.mustMatch(b)
+	a.mustMatch(c)
+	n := 0
+	for i := range a.words {
+		n += bits.OnesCount64(a.words[i] &^ b.words[i] &^ c.words[i])
+	}
+	return n
 }
 
 // Equal reports whether s and o contain exactly the same bits.

@@ -230,8 +230,8 @@ func TestIntersectInto(t *testing.T) {
 	if got := dst.Indices(); !equalInts(got, []int{2, 3}) {
 		t.Fatalf("IntersectInto = %v", got)
 	}
-	if IntersectCount(a, b) != 2 {
-		t.Fatalf("IntersectCount = %d, want 2", IntersectCount(a, b))
+	if AndCount(a, b) != 2 {
+		t.Fatalf("AndCount = %d, want 2", AndCount(a, b))
 	}
 	// Aliasing dst with an operand is allowed.
 	IntersectInto(a, a, b)
@@ -390,7 +390,7 @@ func TestQuickAlgebraMatchesReference(t *testing.T) {
 			equalInts(diff.Indices(), refIndices(wantDiff)) &&
 			equalInts(xor.Indices(), refIndices(wantXor)) &&
 			and.Count() == len(wantAnd) &&
-			IntersectCount(a, b) == len(wantAnd)
+			AndCount(a, b) == len(wantAnd)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -447,4 +447,78 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// --- fused popcount kernels (AndCount, AndNotCount, AndNotAndNotCount) ---
+
+// The kernels must agree with the naive bit-probe definitions for random
+// sets of random widths (crossing word boundaries both ways).
+func TestQuickFusedCountKernels(t *testing.T) {
+	f := func(seed int64, width uint16) bool {
+		n := int(width%300) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomPair(r, n)
+		b, _ := randomPair(r, n)
+		c, _ := randomPair(r, n)
+		and, andNot, andNotAndNot := 0, 0, 0
+		for i := 0; i < n; i++ {
+			switch {
+			case a.Contains(i) && b.Contains(i):
+				and++
+			case a.Contains(i) && !b.Contains(i):
+				andNot++
+			}
+			if a.Contains(i) && !b.Contains(i) && !c.Contains(i) {
+				andNotAndNot++
+			}
+		}
+		return AndCount(a, b) == and &&
+			AndNotCount(a, b) == andNot &&
+			AndNotAndNotCount(a, b, c) == andNotAndNot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The complement of an operand must not leak bits beyond the width: the
+// dead bits of ^b and ^c in the trailing word are masked out by a's
+// invariant-zero dead bits.
+func TestFusedCountsTrailingWordMasking(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 70, 127, 128, 129} {
+		full := New(n)
+		full.Fill()
+		empty := New(n)
+		if got := AndNotCount(full, empty); got != n {
+			t.Fatalf("width %d: AndNotCount(full, empty) = %d, want %d", n, got, n)
+		}
+		if got := AndNotAndNotCount(full, empty, empty); got != n {
+			t.Fatalf("width %d: AndNotAndNotCount(full, empty, empty) = %d, want %d", n, got, n)
+		}
+		if got := AndCount(full, full); got != n {
+			t.Fatalf("width %d: AndCount(full, full) = %d, want %d", n, got, n)
+		}
+		if got := AndNotAndNotCount(full, full, empty); got != 0 {
+			t.Fatalf("width %d: AndNotAndNotCount(full, full, empty) = %d, want 0", n, got)
+		}
+	}
+}
+
+func TestFusedCountWidthMismatchPanics(t *testing.T) {
+	a, b, c := New(10), New(10), New(11)
+	for name, fn := range map[string]func(){
+		"AndCount":               func() { AndCount(a, c) },
+		"AndNotCount":            func() { AndNotCount(a, c) },
+		"AndNotAndNotCount-mid":  func() { AndNotAndNotCount(a, c, b) },
+		"AndNotAndNotCount-last": func() { AndNotAndNotCount(a, b, c) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched widths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
 }

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+	"twoview/internal/mdl"
+)
+
+// This file pins the columnar cover state (ucol/ecol + fused popcount
+// kernels) to a row-wise reference, in the spirit of
+// eclat/reference_test.go: refGainDir walks the support
+// transaction-by-transaction and probes the *row* mirror bit-by-bit —
+// the pre-columnar evaluation strategy — and accumulates per-item
+// integer counts. Counting in integers makes the per-item tallies
+// exact, and the reference combines them with the identical
+// floating-point expression as the columnar kernel, so the property
+// tests can demand agreement to the last bit (==, no tolerance) on
+// random datasets and random partially-applied tables.
+
+// refGainDir is the row-wise reference for State.gainDir.
+func refGainDir(s *State, from dataset.View, tids *bitset.Set, cons itemset.Itemset) float64 {
+	target := from.Opposite()
+	d := s.Dataset()
+	gain := 0.0
+	for _, y := range cons {
+		covered, errs := 0, 0
+		tids.ForEach(func(t int) bool {
+			switch {
+			case s.Uncovered(target, t).Contains(y):
+				covered++
+			case !d.Row(target, t).Contains(y) && !s.Errors(target, t).Contains(y):
+				errs++
+			}
+			return true
+		})
+		if covered == errs {
+			continue
+		}
+		gain += s.Coder().ItemLen(target, y) * float64(covered-errs)
+	}
+	return gain
+}
+
+// refGainWithTids is the row-wise reference for State.GainWithTids.
+func refGainWithTids(s *State, r Rule, tidX, tidY *bitset.Set) float64 {
+	gain := 0.0
+	if r.AppliesTo(dataset.Left) {
+		gain += refGainDir(s, dataset.Left, tidX, r.Y)
+	}
+	if r.AppliesTo(dataset.Right) {
+		gain += refGainDir(s, dataset.Right, tidY, r.X)
+	}
+	return gain - r.Len(s.Coder())
+}
+
+// refSumTub is the closure-based walk State.SumTub replaced.
+func refSumTub(s *State, target dataset.View, tids *bitset.Set) float64 {
+	total := 0.0
+	tids.ForEach(func(t int) bool {
+		total += s.Tub(target, t)
+		return true
+	})
+	return total
+}
+
+// refRub is Rub on top of refSumTub.
+func refRub(s *State, x, y itemset.Itemset, tidX, tidY *bitset.Set) float64 {
+	return refSumTub(s, dataset.Right, tidX) + refSumTub(s, dataset.Left, tidY) -
+		s.Coder().RuleLen(x, y, true)
+}
+
+// columnsMatchRowTranspose checks ucol/ecol against a fresh transpose of
+// the row mirror: ucol[v][i] must be exactly {t : i ∈ u[v][t]}.
+func columnsMatchRowTranspose(t *testing.T, s *State, ctx string) {
+	t.Helper()
+	d := s.Dataset()
+	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+		for i := 0; i < d.Items(v); i++ {
+			wantU := bitset.New(d.Size())
+			wantE := bitset.New(d.Size())
+			for tr := 0; tr < d.Size(); tr++ {
+				if s.Uncovered(v, tr).Contains(i) {
+					wantU.Add(tr)
+				}
+				if s.Errors(v, tr).Contains(i) {
+					wantE.Add(tr)
+				}
+			}
+			if !s.UncoveredCol(v, i).Equal(wantU) {
+				t.Fatalf("%s: ucol[%v][%d] = %v, transpose %v", ctx, v, i, s.UncoveredCol(v, i), wantU)
+			}
+			if !s.ErrorsCol(v, i).Equal(wantE) {
+				t.Fatalf("%s: ecol[%v][%d] = %v, transpose %v", ctx, v, i, s.ErrorsCol(v, i), wantE)
+			}
+		}
+	}
+}
+
+// randomProbeRule builds a rule from random (possibly overlapping,
+// possibly low-support) itemsets, to probe states off the mined path.
+func randomProbeRule(r *rand.Rand, d *dataset.Dataset) Rule {
+	x := itemset.New(r.Intn(d.Items(dataset.Left)))
+	if r.Intn(2) == 0 {
+		x = x.Union(itemset.New(r.Intn(d.Items(dataset.Left))))
+	}
+	y := itemset.New(r.Intn(d.Items(dataset.Right)))
+	if r.Intn(2) == 0 {
+		y = y.Union(itemset.New(r.Intn(d.Items(dataset.Right))))
+	}
+	return Rule{X: x, Dir: Direction(r.Intn(3)), Y: y}
+}
+
+// The central row-vs-column property: on random datasets and random
+// partially-applied tables, Gain/GainWithTids/Rub/SumTub computed through
+// the columnar mirror equal the row-wise reference bit for bit — before
+// any rule, between any two rules, and after all of them.
+func TestQuickColumnarMatchesRowReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, tab := randomDataAndTable(r)
+		s := NewState(d, mdl.NewCoder(d))
+		step := -1
+		check := func() bool {
+			step++
+			// Probe rules: a few random ones plus every table rule.
+			probes := append([]Rule(nil), tab.Rules...)
+			for k := 0; k < 4; k++ {
+				probes = append(probes, randomProbeRule(r, d))
+			}
+			for _, probe := range probes {
+				tidX := d.SupportSet(dataset.Left, probe.X)
+				tidY := d.SupportSet(dataset.Right, probe.Y)
+				if s.GainWithTids(probe, tidX, tidY) != refGainWithTids(s, probe, tidX, tidY) {
+					t.Logf("seed %d step %d: GainWithTids differs for %v", seed, step, probe)
+					return false
+				}
+				if s.Gain(probe) != refGainWithTids(s, probe, tidX, tidY) {
+					t.Logf("seed %d step %d: Gain differs for %v", seed, step, probe)
+					return false
+				}
+				if s.Rub(probe.X, probe.Y, tidX, tidY) != refRub(s, probe.X, probe.Y, tidX, tidY) {
+					t.Logf("seed %d step %d: Rub differs for %v", seed, step, probe)
+					return false
+				}
+				for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+					if s.SumTub(v, tidX) != refSumTub(s, v, tidX) {
+						t.Logf("seed %d step %d: SumTub differs", seed, step)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if !check() {
+			return false
+		}
+		for _, rule := range tab.Rules {
+			s.AddRule(rule)
+			if !check() {
+				return false
+			}
+		}
+		columnsMatchRowTranspose(t, s, "after replay")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All three miners must produce bit-identical gains, rules and final
+// tables for workers ∈ {1, 2, 4, 7} on random datasets, and their final
+// states' columnar mirrors must match the row transpose. Run under
+// -race this also exercises the concurrent columnar reads.
+func TestMinersColumnarBitIdenticalAcrossWorkers(t *testing.T) {
+	workerSets := []int{1, 2, 4, 7}
+	for _, seed := range []int64{3, 17, 41} {
+		d := plantedDataset(t, seed)
+		cands, err := MineCandidates(d, 1, 0, Parallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type miner struct {
+			name string
+			run  func(workers int) *Result
+		}
+		miners := []miner{
+			{"exact", func(w int) *Result {
+				return MineExact(d, ExactOptions{ParallelOptions: Parallel(w)})
+			}},
+			{"select", func(w int) *Result {
+				return MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(w)})
+			}},
+			{"greedy", func(w int) *Result {
+				return MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(w)})
+			}},
+		}
+		for _, m := range miners {
+			base := m.run(1)
+			if base.Table.Size() == 0 {
+				t.Fatalf("%s seed %d: mined nothing", m.name, seed)
+			}
+			columnsMatchRowTranspose(t, base.State, m.name+" serial")
+			// The final state must replay to the same gains the miner saw.
+			replay := NewState(d, mdl.NewCoder(d))
+			for i, rule := range base.Table.Rules {
+				tidX := d.SupportSet(dataset.Left, rule.X)
+				tidY := d.SupportSet(dataset.Right, rule.Y)
+				if g := refGainWithTids(replay, rule, tidX, tidY); g != base.Iterations[i].Gain {
+					t.Fatalf("%s seed %d: rule %d recorded gain %v, row-wise replay %v",
+						m.name, seed, i, base.Iterations[i].Gain, g)
+				}
+				replay.AddRule(rule)
+			}
+			for _, w := range workerSets[1:] {
+				got := m.run(w)
+				if got.Table.Size() != base.Table.Size() {
+					t.Fatalf("%s seed %d workers %d: %d rules, serial %d",
+						m.name, seed, w, got.Table.Size(), base.Table.Size())
+				}
+				for i := range base.Table.Rules {
+					if got.Table.Rules[i].Compare(base.Table.Rules[i]) != 0 {
+						t.Fatalf("%s seed %d workers %d: rule %d differs", m.name, seed, w, i)
+					}
+					if got.Iterations[i].Gain != base.Iterations[i].Gain {
+						t.Fatalf("%s seed %d workers %d: gain %d differs", m.name, seed, w, i)
+					}
+				}
+				if got.State.Score() != base.State.Score() {
+					t.Fatalf("%s seed %d workers %d: score differs", m.name, seed, w)
+				}
+				columnsMatchRowTranspose(t, got.State, m.name+" parallel")
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 	"time"
 
@@ -103,8 +104,11 @@ type exactRun struct {
 	pool *pool.Pool[*exactSearch]
 
 	// items is rebuilt (re-sorted by potential) every iteration; the
-	// slice itself is reused. All worker states read it through the run.
-	items []joinedItem
+	// slice itself is reused, as are its per-view partitions. All worker
+	// states read them through the run.
+	items  []joinedItem
+	lefts  []*joinedItem
+	rights []*joinedItem
 
 	// shared is the cross-worker incumbent gain, Reset between
 	// iterations; nil when serial.
@@ -123,9 +127,14 @@ type exactSearch struct {
 	// Scratch singletons for the seed pass.
 	sx, sy [1]int
 
-	best     Rule
-	bestGain float64
-	found    bool
+	// The champion rule. best.X and best.Y alias bestX and bestY, a pair
+	// of per-worker buffers improvements copy into in place, so taking
+	// the lead does not allocate; bestRule clones the merged winner once
+	// per iteration before it escapes to the caller.
+	best         Rule
+	bestX, bestY itemset.Itemset
+	bestGain     float64
+	found        bool
 }
 
 type levelBufs struct {
@@ -213,15 +222,19 @@ func (run *exactRun) bestRule() (Rule, float64, bool) {
 		}
 	}
 	// Descending by potential; deterministic tie-break by view then id.
-	sort.Slice(items, func(a, b int) bool {
-		ia, ib := items[a], items[b]
-		if ia.pot != ib.pot {
-			return ia.pot > ib.pot
+	// slices.SortFunc rather than sort.Slice: the generic sort keeps the
+	// per-iteration re-sort allocation-free.
+	slices.SortFunc(items, func(a, b joinedItem) int {
+		switch {
+		case a.pot > b.pot:
+			return -1
+		case a.pot < b.pot:
+			return 1
+		case a.view != b.view:
+			return int(a.view) - int(b.view)
+		default:
+			return a.id - b.id
 		}
-		if ia.view != ib.view {
-			return ia.view < ib.view
-		}
-		return ia.id < ib.id
 	})
 	run.items = items
 
@@ -241,7 +254,7 @@ func (run *exactRun) bestRule() (Rule, float64, bool) {
 		rootLY = s.SumTub(dataset.Left, run.full)
 	}
 
-	lefts, rights := splitViews(items)
+	lefts, rights := run.splitViews(items)
 	// Seed phase: each task is one left singleton crossed with every
 	// right singleton. The resulting incumbent is a true gain, so pruning
 	// against it is sound — it just starts the DFS with a competitive
@@ -278,7 +291,13 @@ func (run *exactRun) bestRule() (Rule, float64, bool) {
 			best, bestGain, found = se.best, se.bestGain, true
 		}
 	}
-	return best, bestGain, found
+	if !found {
+		return Rule{}, 0, false
+	}
+	// The winner still aliases its worker's champion buffers, which the
+	// next iteration overwrites; clone once here — the only per-iteration
+	// champion allocation left.
+	return Rule{X: best.X.Clone(), Dir: best.Dir, Y: best.Y.Clone()}, bestGain, true
 }
 
 // bestRule runs a single best-rule search on a transient run context,
@@ -289,16 +308,18 @@ func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
 }
 
 // splitViews partitions the search items by view, preserving the global
-// potential order within each side.
-func splitViews(items []joinedItem) (lefts, rights []*joinedItem) {
+// potential order within each side. The partition slices live on the run
+// and are reused by every iteration.
+func (run *exactRun) splitViews(items []joinedItem) (lefts, rights []*joinedItem) {
+	run.lefts, run.rights = run.lefts[:0], run.rights[:0]
 	for i := range items {
 		if items[i].view == dataset.Left {
-			lefts = append(lefts, &items[i])
+			run.lefts = append(run.lefts, &items[i])
 		} else {
-			rights = append(rights, &items[i])
+			run.rights = append(run.rights, &items[i])
 		}
 	}
-	return lefts, rights
+	return run.lefts, run.rights
 }
 
 // seedPair evaluates the singleton pair ({li}, {ri}) through per-search
@@ -396,7 +417,7 @@ func insertItemInto(dst itemset.Itemset, x, y itemset.Itemset, it joinedItem) it
 
 // evaluate computes the exact gains of the three rules formed by (x, y)
 // and updates the incumbent. x and y may live in scratch buffers; the
-// champion is stored as a clone.
+// champion is copied into the worker's preallocated buffers, not cloned.
 func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, lenX, lenY float64) {
 	s := se.s
 	lenBi := lenX + lenY + 1
@@ -422,7 +443,9 @@ func (se *exactSearch) evaluate(x, y itemset.Itemset, tidX, tidY *bitset.Set, le
 		r := Rule{X: x, Dir: cand.dir, Y: y}
 		if cand.gain > se.bestGain ||
 			(se.found && cand.gain == se.bestGain && r.Compare(se.best) < 0) {
-			se.best = Rule{X: x.Clone(), Dir: cand.dir, Y: y.Clone()}
+			se.bestX = append(se.bestX[:0], x...)
+			se.bestY = append(se.bestY[:0], y...)
+			se.best = Rule{X: se.bestX, Dir: cand.dir, Y: se.bestY}
 			se.bestGain = cand.gain
 			se.found = true
 			if se.shared != nil {

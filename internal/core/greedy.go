@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"twoview/internal/dataset"
@@ -74,23 +74,29 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 	s := NewState(d, coder)
 	res := &Result{State: s}
 
-	// Order: length desc, then support desc, then deterministic.
-	order := make([]int, len(cands))
+	// Order: length desc, then support desc, then deterministic. The
+	// order slice and the per-block score buffer come from the session's
+	// scratch pool, so repeated greedy passes allocate nothing here.
+	scr := opt.getScratch()
+	if cap(scr.order) < len(cands) {
+		scr.order = make([]int, len(cands))
+	}
+	order := scr.order[:len(cands)]
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := &cands[order[a]], &cands[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		ca, cb := &cands[a], &cands[b]
 		la, lb := len(ca.X)+len(ca.Y), len(cb.X)+len(cb.Y)
 		if la != lb {
-			return la > lb
+			return lb - la
 		}
 		if ca.Supp != cb.Supp {
-			return ca.Supp > cb.Supp
+			return cb.Supp - ca.Supp
 		}
 		ra := Rule{X: ca.X, Y: ca.Y}
 		rb := Rule{X: cb.X, Y: cb.Y}
-		return ra.Compare(rb) < 0
+		return ra.Compare(rb)
 	})
 
 	// Speculation only pays when there are workers to keep busy: with a
@@ -113,12 +119,14 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		if end > len(order) {
 			end = len(order)
 		}
-		// Speculatively score the block against the current state.
+		// Speculatively score the block against the current state, into
+		// the reused block buffer.
 		var scores []greedyScore
 		if speculate {
-			scores = pool.MapOrderedOn(rt, opt.Workers, end-pos, func(i int) greedyScore {
+			scr.scores = pool.MapOrderedIntoOn(rt, scr.scores, opt.Workers, end-pos, func(i int) greedyScore {
 				return scoreGreedyCandidate(s, &cands[order[pos+i]])
 			})
+			scores = scr.scores
 		}
 		// Serial walk: the first accepted rule invalidates the remaining
 		// speculative scores (the state changed), so the walk restarts
@@ -143,6 +151,7 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		}
 		pos = next
 	}
+	opt.putScratch(scr)
 	res.Table = s.Table()
 	res.Runtime = time.Since(start)
 	return res

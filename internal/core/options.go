@@ -1,6 +1,10 @@
 package core
 
-import "twoview/internal/pool"
+import (
+	"sync"
+
+	"twoview/internal/pool"
+)
 
 // Session owns a persistent worker runtime for a whole mining session:
 // candidate mining plus any number of MineExact / MineSelect /
@@ -15,6 +19,9 @@ import "twoview/internal/pool"
 // count) holds with or without one.
 type Session struct {
 	rt *pool.Runtime
+	// scratch recycles the round-structured miners' working buffers
+	// (see miningScratch) across the session's mining calls.
+	scratch sync.Pool
 }
 
 // NewSession starts a session with its own worker runtime. Workers are
@@ -38,6 +45,15 @@ func (s *Session) runtime() *pool.Runtime {
 		return pool.Default()
 	}
 	return s.rt
+}
+
+// scratchPool resolves the session to a miner-scratch pool (nil-safe):
+// sessionless calls share the package-wide pool.
+func (s *Session) scratchPool() *sync.Pool {
+	if s == nil {
+		return &defaultScratchPool
+	}
+	return &s.scratch
 }
 
 // ParallelOptions is the shared concurrency knob embedded by every

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"twoview/internal/dataset"
-	"twoview/internal/itemset"
 	"twoview/internal/mdl"
 	"twoview/internal/pool"
 )
@@ -54,10 +53,15 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 	s := NewState(d, coder)
 	res := &Result{State: s}
 
-	// All rounds submit their phases to one persistent runtime: the
-	// workers park between rounds instead of being relaunched.
+	// All rounds submit their phases to one persistent runtime (the
+	// workers park between rounds instead of being relaunched) and reuse
+	// one set of session-pooled buffers: the scored-rule slice, the
+	// Line-8 gain slice, and the per-round used-item masks all reach a
+	// steady state where rounds allocate nothing.
 	rt := opt.runtime()
-	scored := make([]scoredRule, 0, 3*len(cands))
+	sc := opt.getScratch()
+	scored := sc.scored[:0]
+	usedL, usedR := &sc.usedL, &sc.usedR
 	for {
 		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 			break
@@ -83,19 +87,23 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 		// walk computes each needed gain lazily at its turn instead.
 		var gains []float64
 		if opt.workerCount(len(scored)) > 1 {
-			gains = recheckGains(rt, s, cands, scored, opt.Workers)
+			sc.gains = recheckGains(rt, s, cands, scored, sc.gains, opt.Workers)
+			gains = sc.gains
 		}
 
 		// Lines 5-10: add the selected rules, skipping rules whose
 		// itemsets overlap items already used in this round (their gain
-		// has changed and they may no longer belong to the top-k).
-		var usedL, usedR itemset.Itemset
+		// has changed and they may no longer belong to the top-k). The
+		// used items are tracked as per-view bitmasks, reset (not
+		// reallocated) each round.
+		usedL.Reset(d.Items(dataset.Left))
+		usedR.Reset(d.Items(dataset.Right))
 		added := false
 		for i, sr := range scored {
 			if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 				break
 			}
-			if sr.rule.X.Intersects(usedL) || sr.rule.Y.Intersects(usedR) {
+			if anyIn(sr.rule.X, usedL) || anyIn(sr.rule.Y, usedR) {
 				continue
 			}
 			// Line 8: the rule must still improve compression against
@@ -114,14 +122,20 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 			}
 			s.AddRule(sr.rule)
 			res.record(s, sr.rule, gain, opt.Trace)
-			usedL = usedL.Union(sr.rule.X)
-			usedR = usedR.Union(sr.rule.Y)
+			for _, it := range sr.rule.X {
+				usedL.Add(it)
+			}
+			for _, it := range sr.rule.Y {
+				usedR.Add(it)
+			}
 			added = true
 		}
 		if !added {
 			break
 		}
 	}
+	sc.scored = scored // hand the grown capacity back to the pool
+	opt.putScratch(sc)
 	res.Table = s.Table()
 	res.Runtime = time.Since(start)
 	return res
@@ -151,7 +165,7 @@ func scoreCandidates(rt *pool.Runtime, s *State, cands []Candidate, dst []scored
 
 // recheckGains returns, for each selected rule, its gain against the
 // current table (the Line-8 re-check), computed in parallel before the
-// serial add walk.
+// serial add walk into dst's reused storage.
 //
 // Precomputing is exact, not heuristic: a rule is only added if its X
 // and Y are disjoint from every itemset already used in this round, and
@@ -161,8 +175,8 @@ func scoreCandidates(rt *pool.Runtime, s *State, cands []Candidate, dst []scored
 // the walk as at the start of the round, so the gain computed here is
 // bit-identical to the one the serial loop would compute mid-round.
 // Rules that fail the filter never have their gain consulted.
-func recheckGains(rt *pool.Runtime, s *State, cands []Candidate, scored []scoredRule, workers int) []float64 {
-	return pool.MapOrderedOn(rt, workers, len(scored), func(i int) float64 {
+func recheckGains(rt *pool.Runtime, s *State, cands []Candidate, scored []scoredRule, dst []float64, workers int) []float64 {
+	return pool.MapOrderedIntoOn(rt, dst, workers, len(scored), func(i int) float64 {
 		c := &cands[scored[i].cand]
 		return s.GainWithTids(scored[i].rule, c.TidX, c.TidY)
 	})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"twoview/internal/bitset"
 	"twoview/internal/dataset"
@@ -15,10 +16,29 @@ import (
 // (translated but not in the data), the encoded correction lengths, the
 // table length, and the transaction-based upper bounds tub (§5.1–5.2).
 //
+// The correction state is kept in two layouts at once:
+//
+//   - row-wise, u[v][t]/e[v][t]: one bitset over I_v per transaction,
+//     the layout of Algorithm 1 and of the read accessors
+//     (Uncovered/Errors, table reports, reconstruction tests);
+//   - columnar, ucol[v][i]/ecol[v][i]: one tidset over the transactions
+//     per *item*, the same vertical layout as Dataset.Columns. This is
+//     the layout every gain evaluation reads: scoring a candidate rule
+//     against a support tidset becomes a handful of fused
+//     popcount loops per consequent item (see gainDir) instead of
+//     per-transaction bit probes.
+//
+// Both mirrors are updated together by AddRule/applyDir; the columnar
+// mirror is property-tested against a row-wise reference in
+// columnar_test.go. All bitsets are carved out of per-view batch
+// allocations (bitset.NewBatch), so building a State costs O(1)
+// allocations per view rather than O(|D| + |I|).
+//
 // Invariants (checked in tests):
 //   - U_t ⊆ t and E_t ∩ t = ∅ for the target view's row t;
 //   - t′ = (t \ U_t) ∪ E_t matches TranslateRow for the current table;
 //   - E only grows as rules are added (errors are never removed);
+//   - ucol[v][i] = {t : i ∈ u[v][t]} and ecol[v][i] = {t : i ∈ e[v][t]};
 //   - corrLen[v] = Σ_t BitsLen(U_t) + BitsLen(E_t).
 type State struct {
 	d     *dataset.Dataset
@@ -27,32 +47,46 @@ type State struct {
 
 	// Arrays indexed by the *target* view of a translation:
 	// target Right ⇔ translation D_L→R, target Left ⇔ D_L←R.
-	u       [2][]*bitset.Set
-	e       [2][]*bitset.Set
+	u       [2][]bitset.Set // row-wise U, indexed by transaction
+	e       [2][]bitset.Set // row-wise E, indexed by transaction
+	ucol    [2][]bitset.Set // columnar U, indexed by item (tidsets)
+	ecol    [2][]bitset.Set // columnar E, indexed by item (tidsets)
 	uOnes   [2]int
 	eOnes   [2]int
 	corrLen [2]float64
 	tub     [2][]float64 // tub(t) = L(U_t | D_target) per transaction
+
+	scratch *bitset.Set // width |D|, used serially by applyDir
 }
 
 // NewState returns the state of the empty translation table: everything is
 // uncovered, nothing is in error, and the score is the baseline L(D,∅).
 func NewState(d *dataset.Dataset, coder *mdl.Coder) *State {
 	s := &State{d: d, coder: coder}
+	n := d.Size()
 	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
-		n := d.Size()
-		s.u[v] = make([]*bitset.Set, n)
-		s.e[v] = make([]*bitset.Set, n)
+		items := d.Items(v)
+		s.u[v] = bitset.NewBatch(n, items)
+		s.e[v] = bitset.NewBatch(n, items)
 		s.tub[v] = make([]float64, n)
 		for t := 0; t < n; t++ {
 			row := d.Row(v, t)
-			s.u[v][t] = row.Clone()
-			s.e[v][t] = bitset.New(d.Items(v))
+			s.u[v][t].Copy(row)
 			s.uOnes[v] += row.Count()
 			s.tub[v][t] = coder.BitsLen(v, row)
 			s.corrLen[v] += s.tub[v][t]
 		}
+		// Initially U_t = t, so the U column of item i is exactly the
+		// item's support tidset. Materializing Columns here also makes
+		// the lazily built cache safe to read from parallel phases.
+		cols := d.Columns(v)
+		s.ucol[v] = bitset.NewBatch(items, n)
+		s.ecol[v] = bitset.NewBatch(items, n)
+		for i := 0; i < items; i++ {
+			s.ucol[v][i].Copy(cols[i])
+		}
 	}
+	s.scratch = bitset.New(n)
 	return s
 }
 
@@ -66,10 +100,18 @@ func (s *State) Coder() *mdl.Coder { return s.coder }
 func (s *State) Table() *Table { return &s.table }
 
 // Uncovered returns U_t for the given target view. Read-only.
-func (s *State) Uncovered(target dataset.View, t int) *bitset.Set { return s.u[target][t] }
+func (s *State) Uncovered(target dataset.View, t int) *bitset.Set { return &s.u[target][t] }
 
 // Errors returns E_t for the given target view. Read-only.
-func (s *State) Errors(target dataset.View, t int) *bitset.Set { return s.e[target][t] }
+func (s *State) Errors(target dataset.View, t int) *bitset.Set { return &s.e[target][t] }
+
+// UncoveredCol returns the columnar mirror of U for item i of the target
+// view: the tidset {t : i ∈ U_t}. Read-only.
+func (s *State) UncoveredCol(target dataset.View, i int) *bitset.Set { return &s.ucol[target][i] }
+
+// ErrorsCol returns the columnar mirror of E for item i of the target
+// view: the tidset {t : i ∈ E_t}. Read-only.
+func (s *State) ErrorsCol(target dataset.View, i int) *bitset.Set { return &s.ecol[target][i] }
 
 // UncoveredOnes returns |U| for the target view (Fig. 2, top).
 func (s *State) UncoveredOnes(target dataset.View) int { return s.uOnes[target] }
@@ -102,40 +144,48 @@ func (s *State) Baseline() float64 { return s.coder.BaselineLen(s.d) }
 // for the given target view (§5.2). It is kept up to date by AddRule.
 func (s *State) Tub(target dataset.View, t int) float64 { return s.tub[target][t] }
 
-// SumTub returns Σ_{t ∈ tids} tub(t) for the target view.
+// SumTub returns Σ_{t ∈ tids} tub(t) for the target view, accumulated in
+// ascending transaction order (the same order ForEach would visit, so
+// the value is bit-identical to the closure-based walk it replaced).
 func (s *State) SumTub(target dataset.View, tids *bitset.Set) float64 {
 	total := 0.0
 	tub := s.tub[target]
-	tids.ForEach(func(t int) bool {
-		total += tub[t]
-		return true
-	})
+	for wi, w := range tids.Words() {
+		base := wi * bitset.WordBits
+		for w != 0 {
+			total += tub[base+bits.TrailingZeros64(w)]
+			w &= w - 1
+		}
+	}
 	return total
 }
 
 // gainDir computes Δ_{D|T} for one direction of a rule (Equation 2): the
 // antecedent's support tidset in view `from` and the consequent itemset in
 // the opposite view. It does not subtract the rule length.
+//
+// This is the innermost loop of all three miners, and it runs entirely on
+// the columnar mirror: per consequent item y, the number of transactions
+// where y becomes covered is |tids ∩ ucol[y]| and the number where y
+// becomes an error is |tids \ (supp(y) ∪ ecol[y])| — two fused popcount
+// word loops (bitset.AndCount / AndNotAndNotCount), no per-transaction
+// branching, no allocation.
 func (s *State) gainDir(from dataset.View, tids *bitset.Set, cons itemset.Itemset) float64 {
 	target := from.Opposite()
-	lens := make([]float64, len(cons))
-	for i, y := range cons {
-		lens[i] = s.coder.ItemLen(target, y)
-	}
-	u, e := s.u[target], s.e[target]
+	ucol, ecol := s.ucol[target], s.ecol[target]
+	cols := s.d.Columns(target)
 	gain := 0.0
-	tids.ForEach(func(t int) bool {
-		row := s.d.Row(target, t)
-		for i, y := range cons {
-			switch {
-			case u[t].Contains(y):
-				gain += lens[i] // item becomes covered: L(Y ∩ U_t)
-			case !row.Contains(y) && !e[t].Contains(y):
-				gain -= lens[i] // new error: L(Y \ (t_R ∪ E_t))
-			}
+	for _, y := range cons {
+		covered := bitset.AndCount(tids, &ucol[y])                // L(Y ∩ U_t) terms
+		errs := bitset.AndNotAndNotCount(tids, cols[y], &ecol[y]) // L(Y \ (t_R ∪ E_t)) terms
+		if covered == errs {
+			// Skip the multiply: ±0 contributions cancel, and a
+			// zero-support item (ItemLen +Inf) over an empty tidset
+			// must contribute 0, not Inf·0 = NaN.
+			continue
 		}
-		return true
-	})
+		gain += s.coder.ItemLen(target, y) * float64(covered-errs)
+	}
 	return gain
 }
 
@@ -184,31 +234,61 @@ func (s *State) Rub(x, y itemset.Itemset, tidX, tidY *bitset.Set) float64 {
 		s.coder.RuleLen(x, y, true)
 }
 
-// applyDir updates U, E, tub and corrLen for one direction of a rule.
+// applyDir updates U, E (both layouts), tub and corrLen for one direction
+// of a rule. Like gainDir it works item-major: per consequent item y it
+// materializes the covered tidset tids ∩ ucol[y] and the new-error tidset
+// tids \ (supp(y) ∪ ecol[y]) with word-level operations, updates the
+// columns wholesale, and walks only the affected transactions to keep the
+// row mirror and tub in sync. For each transaction the per-item deltas are
+// applied in consequent order, exactly as the row-wise version did, so tub
+// stays bit-identical. applyDir is only called between search phases
+// (AddRule), never concurrently, so it may use the state's scratch set.
 func (s *State) applyDir(from dataset.View, tids *bitset.Set, cons itemset.Itemset) {
 	target := from.Opposite()
-	lens := make([]float64, len(cons))
-	for i, y := range cons {
-		lens[i] = s.coder.ItemLen(target, y)
-	}
 	u, e := s.u[target], s.e[target]
-	tids.ForEach(func(t int) bool {
-		row := s.d.Row(target, t)
-		for i, y := range cons {
-			switch {
-			case u[t].Contains(y):
+	cols := s.d.Columns(target)
+	tub := s.tub[target]
+	for _, y := range cons {
+		l := s.coder.ItemLen(target, y)
+		ucol, ecol := &s.ucol[target][y], &s.ecol[target][y]
+
+		// Transactions where y was still uncovered: it becomes covered.
+		covered := s.scratch
+		bitset.IntersectInto(covered, tids, ucol)
+		covCnt := covered.Count()
+		if covCnt > 0 {
+			ucol.AndNot(covered)
+			covered.ForEach(func(t int) bool {
 				u[t].Remove(y)
-				s.uOnes[target]--
-				s.corrLen[target] -= lens[i]
-				s.tub[target][t] -= lens[i]
-			case !row.Contains(y) && !e[t].Contains(y):
-				e[t].Add(y)
-				s.eOnes[target]++
-				s.corrLen[target] += lens[i]
-			}
+				tub[t] -= l
+				return true
+			})
 		}
-		return true
-	})
+
+		// Transactions where y is neither in the data nor already an
+		// error: it becomes a new error (errors are never removed).
+		errs := s.scratch
+		errs.Copy(tids)
+		errs.AndNot(cols[y])
+		errs.AndNot(ecol)
+		errCnt := errs.Count()
+		if errCnt > 0 {
+			ecol.Or(errs)
+			errs.ForEach(func(t int) bool {
+				e[t].Add(y)
+				return true
+			})
+		}
+
+		s.uOnes[target] -= covCnt
+		s.eOnes[target] += errCnt
+		if covCnt != errCnt {
+			// Same single-multiply form as gainDir, so Gain(r) computed
+			// immediately before AddRule(r) matches the score change
+			// exactly (negation is lossless in floating point).
+			s.corrLen[target] += l * float64(errCnt-covCnt)
+		}
+	}
 }
 
 // AddRule appends r to the table and updates all incremental structures.

@@ -436,22 +436,36 @@ func MapOrdered[T any](workers, n int, fn func(i int) T) []T {
 // MapOrderedOn is MapOrdered on an explicit runtime; rt == nil means
 // Default.
 func MapOrderedOn[T any](rt *Runtime, workers, n int, fn func(i int) T) []T {
-	out := make([]T, n)
+	return MapOrderedIntoOn(rt, nil, workers, n, fn)
+}
+
+// MapOrderedIntoOn is MapOrderedOn writing into dst's storage when its
+// capacity suffices (the returned slice always has length n), so
+// round-structured callers — SELECT's per-round re-check, GREEDY's
+// per-block speculative scoring — can reuse one result buffer across
+// rounds instead of allocating a fresh slice per phase. Stale dst
+// contents are never read: every slot in [0, n) is overwritten.
+func MapOrderedIntoOn[T any](rt *Runtime, dst []T, workers, n int, fn func(i int) T) []T {
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]T, n)
+	}
 	workers = Size(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			dst[i] = fn(i)
 		}
-		return out
+		return dst
 	}
 	if rt == nil {
 		rt = Default()
 	}
 	rt.phase(workers, n, func(_, i int) bool {
-		out[i] = fn(i)
+		dst[i] = fn(i)
 		return true
 	})
-	return out
+	return dst
 }
 
 // MapChunksInto splits [0, n) into fixed-size chunks, applies fn to
