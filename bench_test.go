@@ -1,11 +1,12 @@
 // Benchmarks regenerating each table and figure of the paper on reduced-
-// scale synthetic analogues (one benchmark per experiment; see DESIGN.md
-// §4 for the experiment index). Dataset construction happens outside the
-// timed loop; each iteration performs the full mining/evaluation work of
-// the experiment.
+// scale synthetic analogues (one benchmark per experiment; `go run
+// ./cmd/experiments -list` is the experiment index). Dataset
+// construction happens outside the timed loop; each iteration performs
+// the full mining/evaluation work of the experiment.
 package twoview_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -32,7 +33,7 @@ func benchData(b *testing.B, name string, scale float64) (*twoview.Dataset, []tw
 	if err != nil {
 		b.Fatal(err)
 	}
-	cands, err := core.MineCandidates(d, sp.MinSupport, 0, core.ParallelOptions{})
+	cands, err := core.MineCandidates(context.Background(), d, sp.MinSupport, 0, core.ParallelOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func benchData(b *testing.B, name string, scale float64) (*twoview.Dataset, []tw
 
 func BenchmarkTable1Stats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := eval.RunTable1(io.Discard, 0.05); err != nil {
+		if err := eval.RunTable1(context.Background(), io.Discard, 0.05); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func BenchmarkTable2SmallExact(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := twoview.MineExact(d, twoview.ExactOptions{MaxRules: 5})
+				res, _ := twoview.MineExact(context.Background(), d, twoview.ExactOptions{MaxRules: 5})
 				if res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}
@@ -88,7 +89,7 @@ func benchSelect(b *testing.B, k int) {
 			d, cands, _ := benchData(b, name, 0.25)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: k})
+				res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: k})
 				if res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}
@@ -103,7 +104,7 @@ func BenchmarkTable2SmallGreedy(b *testing.B) {
 			d, cands, _ := benchData(b, name, 0.25)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+				res, _ := twoview.MineGreedy(context.Background(), d, cands, twoview.GreedyOptions{})
 				if res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}
@@ -120,7 +121,7 @@ func BenchmarkTable2LargeSelect1(b *testing.B) {
 			d, cands, _ := benchData(b, name, 0.25)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+				twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 			}
 		})
 	}
@@ -130,7 +131,7 @@ func BenchmarkTable2CandidateMining(b *testing.B) {
 	d, _, sp := benchData(b, "house", 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.MineCandidates(d, sp.MinSupport, 0, core.ParallelOptions{}); err != nil {
+		if _, err := core.MineCandidates(context.Background(), d, sp.MinSupport, 0, core.ParallelOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,7 +143,7 @@ func BenchmarkTable3Translator(b *testing.B) {
 	d, cands, _ := benchData(b, "house", 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+		res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 		twoview.Summarize(d, res)
 	}
 }
@@ -200,7 +201,7 @@ func BenchmarkTable3AssocExplosion(b *testing.B) {
 
 func BenchmarkFig2House(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.RunFig2(io.Discard, 0.25); err != nil {
+		if _, err := eval.RunFig2(context.Background(), io.Discard, 0.25); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +211,7 @@ func BenchmarkFig2House(b *testing.B) {
 
 func BenchmarkFig3Dot(b *testing.B) {
 	d, cands, _ := benchData(b, "house", 0.5)
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := twoview.WriteDot(io.Discard, d, res.Table, "bench"); err != nil {
@@ -223,7 +224,7 @@ func BenchmarkFig3Dot(b *testing.B) {
 
 func BenchmarkFig4to7ExampleRules(b *testing.B) {
 	d, cands, _ := benchData(b, "house", 0.5)
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		twoview.TopRules(d, res.Table, 3)
@@ -235,7 +236,7 @@ func BenchmarkFig4to7ExampleRules(b *testing.B) {
 func BenchmarkRecovery(b *testing.B) {
 	p, _ := synth.ProfileByName("car")
 	for i := 0; i < b.N; i++ {
-		if err := eval.RunRecovery(io.Discard, 0.2, []synth.Profile{p}); err != nil {
+		if err := eval.RunRecovery(context.Background(), io.Discard, 0.2, []synth.Profile{p}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -251,7 +252,7 @@ func BenchmarkExactPruningOn(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		twoview.MineExact(d, twoview.ExactOptions{MaxRules: 2})
+		twoview.MineExact(context.Background(), d, twoview.ExactOptions{MaxRules: 2})
 	}
 }
 
@@ -263,7 +264,7 @@ func BenchmarkExactPruningOff(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		twoview.MineExact(d, twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true})
+		twoview.MineExact(context.Background(), d, twoview.ExactOptions{MaxRules: 2, DisableRub: true, DisableQub: true})
 	}
 }
 
@@ -290,7 +291,7 @@ func BenchmarkMineExact(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res := twoview.MineExact(d, cfg.opt)
+				res, _ := twoview.MineExact(context.Background(), d, cfg.opt)
 				if res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}

@@ -78,7 +78,7 @@ func main() {
 	log.SetPrefix("benchreport: ")
 
 	var (
-		bench     = flag.String("bench", "BenchmarkMine", "benchmark regex passed to go test -bench")
+		bench     = flag.String("bench", "BenchmarkMine|BenchmarkApply|BenchmarkTranslator", "benchmark regex passed to go test -bench (miners + the compiled serving path)")
 		pkgs      = flag.String("pkgs", "./internal/core/", "space-separated package patterns to benchmark")
 		benchtime = flag.String("benchtime", "20x", "go test -benchtime value")
 		count     = flag.Int("count", 3, "go test -count value (min ns/op is kept)")

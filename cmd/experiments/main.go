@@ -13,13 +13,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"twoview/internal/core"
@@ -29,47 +33,47 @@ import (
 type experiment struct {
 	name string
 	desc string
-	run  func(w io.Writer, scale float64) error
+	run  func(ctx context.Context, w io.Writer, scale float64) error
 }
 
 func experiments() []experiment {
 	return []experiment{
-		{"table1", "dataset properties and L(D,∅)", func(w io.Writer, s float64) error {
-			return eval.RunTable1(w, s)
+		{"table1", "dataset properties and L(D,∅)", func(ctx context.Context, w io.Writer, s float64) error {
+			return eval.RunTable1(ctx, w, s)
 		}},
-		{"table2small", "search strategy comparison, small datasets (incl. EXACT)", func(w io.Writer, s float64) error {
-			_, err := eval.RunTable2(w, s, true)
+		{"table2small", "search strategy comparison, small datasets (incl. EXACT)", func(ctx context.Context, w io.Writer, s float64) error {
+			_, err := eval.RunTable2(ctx, w, s, true)
 			return err
 		}},
-		{"table2large", "search strategy comparison, large datasets", func(w io.Writer, s float64) error {
-			_, err := eval.RunTable2(w, s, false)
+		{"table2large", "search strategy comparison, large datasets", func(ctx context.Context, w io.Writer, s float64) error {
+			_, err := eval.RunTable2(ctx, w, s, false)
 			return err
 		}},
-		{"table3", "TRANSLATOR vs SIGRULES, REREMI, KRIMP", func(w io.Writer, s float64) error {
-			_, err := eval.RunTable3(w, s, nil)
+		{"table3", "TRANSLATOR vs SIGRULES, REREMI, KRIMP", func(ctx context.Context, w io.Writer, s float64) error {
+			_, err := eval.RunTable3(ctx, w, s, nil)
 			return err
 		}},
-		{"fig2", "construction of a translation table (House)", func(w io.Writer, s float64) error {
-			_, err := eval.RunFig2(w, s)
+		{"fig2", "construction of a translation table (House)", func(ctx context.Context, w io.Writer, s float64) error {
+			_, err := eval.RunFig2(ctx, w, s)
 			return err
 		}},
 		{"fig3", "DOT rule-set visualizations (CAL500, House)", eval.RunFig3},
-		{"fig4", "example rules, House", func(w io.Writer, s float64) error {
-			return eval.RunExampleRules(w, "house", s)
+		{"fig4", "example rules, House", func(ctx context.Context, w io.Writer, s float64) error {
+			return eval.RunExampleRules(ctx, w, "house", s)
 		}},
-		{"fig5", "example rules, Mammals", func(w io.Writer, s float64) error {
-			return eval.RunExampleRules(w, "mammals", s)
+		{"fig5", "example rules, Mammals", func(ctx context.Context, w io.Writer, s float64) error {
+			return eval.RunExampleRules(ctx, w, "mammals", s)
 		}},
 		{"fig6", "rules containing a focus item (CAL500)", eval.RunFig6},
 		{"fig7", "example rules, Elections", eval.RunFig7},
-		{"explosion", "§6.3 raw association-rule explosion vs |T|", func(w io.Writer, s float64) error {
-			return eval.RunExplosion(w, s, nil)
+		{"explosion", "§6.3 raw association-rule explosion vs |T|", func(ctx context.Context, w io.Writer, s float64) error {
+			return eval.RunExplosion(ctx, w, s, nil)
 		}},
-		{"recovery", "extension X1: planted-rule recovery", func(w io.Writer, s float64) error {
-			return eval.RunRecovery(w, s, nil)
+		{"recovery", "extension X1: planted-rule recovery", func(ctx context.Context, w io.Writer, s float64) error {
+			return eval.RunRecovery(ctx, w, s, nil)
 		}},
-		{"ablation", "extension X2: pruning-bound ablation", func(w io.Writer, s float64) error {
-			return eval.RunAblation(w, s, 3, nil)
+		{"ablation", "extension X2: pruning-bound ablation", func(ctx context.Context, w io.Writer, s float64) error {
+			return eval.RunAblation(ctx, w, s, 3, nil)
 		}},
 	}
 }
@@ -91,6 +95,12 @@ func main() {
 	// experiment's mining rounds reuse the same parked workers.
 	eval.Session = core.NewSession()
 	defer eval.Session.Close()
+
+	// SIGINT/SIGTERM cancel the context threaded through every runner;
+	// a long experiment batch then unwinds at the next mining
+	// checkpoint instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	all := experiments()
 	if *list {
@@ -132,7 +142,10 @@ func main() {
 			}
 			w = io.MultiWriter(os.Stdout, f)
 		}
-		if err := e.run(w, *scale); err != nil {
+		if err := e.run(ctx, w, *scale); err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("%s: interrupted (outputs for this experiment are incomplete)", e.name)
+			}
 			log.Fatalf("%s: %v", e.name, err)
 		}
 		if f != nil {

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"twoview/internal/core"
 	"twoview/internal/dataset"
@@ -43,6 +47,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the mining context: a long mine unwinds at
+	// the next search checkpoint and the partial table is still printed
+	// (and saved with -save) instead of the process being killed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	d, err := dataset.ReadFile(*in)
 	if err != nil {
 		log.Fatal(err)
@@ -59,8 +69,16 @@ func main() {
 		m := eval.Evaluate(d, mdl.NewCoder(d), tab)
 		fmt.Printf("loaded %d rules from %s\n", tab.Size(), *loadIn)
 		fmt.Printf("L%% = %.2f, |C|%% = %.2f, avg c+ = %.2f\n", m.LPct, m.CorrPct, m.AvgConf)
+		// Compile once, apply in both directions — the serving path.
+		tr, err := core.CompileTranslator(d, tab)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, from := range []dataset.View{dataset.Left, dataset.Right} {
-			rep := core.Apply(d, tab, from)
+			rep, err := tr.Apply(ctx, d, from)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("translate %v→%v: %d items produced, %d uncovered, %d errors (of %d cells)\n",
 				from, from.Opposite(), rep.TranslatedOnes, rep.Uncovered, rep.Errors, rep.Cells)
 		}
@@ -81,22 +99,38 @@ func main() {
 	defer sess.Close()
 	par := core.ParallelOptions{Workers: *workers, Session: sess}
 	var res *core.Result
+	var mineErr error
 	switch *algo {
 	case "exact":
-		res = core.MineExact(d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
+		res, mineErr = core.MineExact(ctx, d, core.ExactOptions{MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
 	case "select", "greedy":
-		cands, err := core.MineCandidates(d, *minsup, 0, par)
+		cands, err := core.MineCandidates(ctx, d, *minsup, 0, par)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatal("interrupted during candidate mining; nothing to report")
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("candidates: %d closed two-view itemsets (minsup %d)\n", len(cands), *minsup)
 		if *algo == "select" {
-			res = core.MineSelect(d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
+			res, mineErr = core.MineSelect(ctx, d, cands, core.SelectOptions{K: *k, MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
 		} else {
-			res = core.MineGreedy(d, cands, core.GreedyOptions{MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
+			res, mineErr = core.MineGreedy(ctx, d, cands, core.GreedyOptions{MaxRules: *maxRules, Trace: tracer, ParallelOptions: par})
 		}
 	default:
 		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	// Mining is over: restore default signal handling so a second
+	// Ctrl-C during the reporting below kills the process normally
+	// instead of being swallowed by the (now useless) cancel context.
+	stop()
+	if mineErr != nil {
+		if !errors.Is(mineErr, context.Canceled) {
+			log.Fatal(mineErr)
+		}
+		// A cancelled mine still returns everything found so far; say so
+		// and report the partial table like a completed one.
+		fmt.Printf("\ninterrupted: partial table with the %d rules mined so far\n", res.Table.Size())
 	}
 
 	m := eval.FromResult(d, res)

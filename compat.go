@@ -1,0 +1,71 @@
+package twoview
+
+import "context"
+
+// This file is the v1 compatibility layer: the pre-context mining and
+// apply signatures, kept for exactly one release so that downstream
+// code migrates on its own schedule. Each wrapper runs its v2
+// counterpart on context.Background() — no cancellation, no deadline —
+// and produces bit-identical results. See README.md, "Migrating to the
+// v2 API", for the rename table. The wrappers will be removed in the
+// release after next.
+
+// MineExactV1 is the v1 MineExact signature.
+//
+// Deprecated: use MineExact(ctx, d, opt); it adds cancellation and an
+// error return. Behaviour on context.Background() is identical.
+func MineExactV1(d *Dataset, opt ExactOptions) *Result {
+	res, _ := MineExact(context.Background(), d, opt)
+	return res
+}
+
+// MineSelectV1 is the v1 MineSelect signature.
+//
+// Deprecated: use MineSelect(ctx, d, cands, opt).
+func MineSelectV1(d *Dataset, cands []Candidate, opt SelectOptions) *Result {
+	res, _ := MineSelect(context.Background(), d, cands, opt)
+	return res
+}
+
+// MineGreedyV1 is the v1 MineGreedy signature.
+//
+// Deprecated: use MineGreedy(ctx, d, cands, opt).
+func MineGreedyV1(d *Dataset, cands []Candidate, opt GreedyOptions) *Result {
+	res, _ := MineGreedy(context.Background(), d, cands, opt)
+	return res
+}
+
+// MineCandidatesV1 is the v1 MineCandidates signature.
+//
+// Deprecated: use MineCandidates(ctx, d, minSupport, maxResults, par).
+func MineCandidatesV1(d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
+	return MineCandidates(context.Background(), d, minSupport, maxResults, par)
+}
+
+// MineCandidatesCappedV1 is the v1 MineCandidatesCapped signature.
+//
+// Deprecated: use MineCandidatesCapped(ctx, d, minSupport, maxResults, par).
+func MineCandidatesCappedV1(d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
+	return MineCandidatesCapped(context.Background(), d, minSupport, maxResults, par)
+}
+
+// ApplyV1 is the v1 Apply signature. It panics on a table that does not
+// validate against d — v1 surfaced the same misuse as an opaque panic
+// inside the translation walk.
+//
+// Deprecated: use Apply(ctx, d, t, from), or CompileTranslator + the
+// Translator methods when applying the same table repeatedly.
+func ApplyV1(d *Dataset, t *Table, from View) ApplyReport {
+	rep, err := Apply(context.Background(), d, t, from)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// MineAllPairsV1 is the v1 MineAllPairs signature.
+//
+// Deprecated: use MineAllPairs(ctx, d, opt).
+func MineAllPairsV1(d *MultiDataset, opt MultiOptions) ([]PairResult, error) {
+	return MineAllPairs(context.Background(), d, opt)
+}

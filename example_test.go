@@ -2,6 +2,7 @@ package twoview_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"twoview"
@@ -20,7 +21,7 @@ func ExampleMineExact() {
 	for i := 0; i < 3; i++ {
 		d.AddRow(nil, []int{1})
 	}
-	res := twoview.MineExact(d, twoview.ExactOptions{})
+	res, _ := twoview.MineExact(context.Background(), d, twoview.ExactOptions{})
 	for _, r := range res.Table.Rules {
 		fmt.Println(r.Format(d))
 	}
@@ -37,14 +38,14 @@ func ExampleApply() {
 	for i := 0; i < 4; i++ {
 		d.AddRow(nil, nil)
 	}
-	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	cands, _ := twoview.MineCandidates(context.Background(), d, 1, 0, twoview.ParallelOptions{})
+	res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 
 	var stored bytes.Buffer
 	_ = twoview.WriteTable(&stored, d, res.Table)
 	loaded, _ := twoview.ReadTable(&stored, d)
 
-	rep := twoview.Apply(d, loaded, twoview.Left)
+	rep, _ := twoview.Apply(context.Background(), d, loaded, twoview.Left)
 	fmt.Printf("produced %d items, %d uncovered, %d errors\n",
 		rep.TranslatedOnes, rep.Uncovered, rep.Errors)
 	// Output:
@@ -84,7 +85,7 @@ func ExampleMineAllPairs() {
 			d.AddRow([][]int{nil, nil, {0}})
 		}
 	}
-	results, _ := twoview.MineAllPairs(d, twoview.MultiOptions{MinSupport: 2})
+	results, _ := twoview.MineAllPairs(context.Background(), d, twoview.MultiOptions{MinSupport: 2})
 	for _, pr := range results {
 		fmt.Printf("%s-%s: %d rules\n", d.ViewName(pr.I), d.ViewName(pr.J), pr.Result.Table.Size())
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,11 +33,15 @@ func main() {
 	fmt.Printf("candidates: %d, profile items: %d, opinion items: %d\n\n",
 		st.Size, st.ItemsL, st.ItemsR)
 
-	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000, twoview.ParallelOptions{})
+	ctx := context.Background()
+	cands, _, err := twoview.MineCandidatesCapped(ctx, d, scaled.MinSupport, 100_000, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	res, err := twoview.MineSelect(ctx, d, cands, twoview.SelectOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := twoview.Summarize(d, res)
 	fmt.Printf("mined %d rules (L%% = %.1f, avg c+ = %.2f)\n\n",
 		m.NumRules, m.LPct, m.AvgConf)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,16 @@ func main() {
 		st.Size, st.ItemsL, st.ItemsR)
 	fmt.Printf("planted ground-truth associations: %d\n\n", len(planted))
 
-	cands, minsup, err := twoview.MineCandidatesCapped(d, profile.MinSupport, 100_000, twoview.ParallelOptions{})
+	ctx := context.Background()
+	cands, minsup, err := twoview.MineCandidatesCapped(ctx, d, profile.MinSupport, 100_000, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%d candidate patterns (minsup %d)\n", len(cands), minsup)
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	res, err := twoview.MineSelect(ctx, d, cands, twoview.SelectOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := twoview.Summarize(d, res)
 	fmt.Printf("mined %d rules in %v (L%% = %.1f)\n\n", m.NumRules, res.Runtime, m.LPct)
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,7 +31,8 @@ func main() {
 	st := d.Stats()
 	fmt.Printf("areas: %d, species: %d + %d\n\n", st.Size, st.ItemsL, st.ItemsR)
 
-	cands, _, err := twoview.MineCandidatesCapped(d, scaled.MinSupport, 100_000, twoview.ParallelOptions{})
+	ctx := context.Background()
+	cands, _, err := twoview.MineCandidatesCapped(ctx, d, scaled.MinSupport, 100_000, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,19 +42,22 @@ func main() {
 	var keep *twoview.Result
 	for _, cfg := range []struct {
 		name string
-		run  func() *twoview.Result
+		run  func() (*twoview.Result, error)
 	}{
-		{"SELECT(1)", func() *twoview.Result {
-			return twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+		{"SELECT(1)", func() (*twoview.Result, error) {
+			return twoview.MineSelect(ctx, d, cands, twoview.SelectOptions{K: 1})
 		}},
-		{"SELECT(25)", func() *twoview.Result {
-			return twoview.MineSelect(d, cands, twoview.SelectOptions{K: 25})
+		{"SELECT(25)", func() (*twoview.Result, error) {
+			return twoview.MineSelect(ctx, d, cands, twoview.SelectOptions{K: 25})
 		}},
-		{"GREEDY", func() *twoview.Result {
-			return twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+		{"GREEDY", func() (*twoview.Result, error) {
+			return twoview.MineGreedy(ctx, d, cands, twoview.GreedyOptions{})
 		}},
 	} {
-		res := cfg.run()
+		res, err := cfg.run()
+		if err != nil {
+			log.Fatal(err)
+		}
 		m := twoview.Summarize(d, res)
 		fmt.Printf("%-10s |T|=%-3d L%%=%-6.1f |C|%%=%-5.1f c+=%.2f  (%v)\n",
 			cfg.name, m.NumRules, m.LPct, m.CorrPct, m.AvgConf, res.Runtime)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,7 +63,7 @@ func main() {
 		}
 	}
 
-	results, err := twoview.MineAllPairs(d, twoview.MultiOptions{MinSupport: 5})
+	results, err := twoview.MineAllPairs(context.Background(), d, twoview.MultiOptions{MinSupport: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

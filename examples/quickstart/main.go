@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,23 +37,33 @@ func main() {
 		st.Size, st.ItemsL, st.ItemsR, st.DensityL, st.DensityR)
 
 	// TRANSLATOR-EXACT: parameter-free, optimal rule each iteration.
-	exact := twoview.MineExact(d, twoview.ExactOptions{})
+	ctx := context.Background()
+	exact, err := twoview.MineExact(ctx, d, twoview.ExactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("TRANSLATOR-EXACT found:")
 	printTable(d, exact)
 
 	// TRANSLATOR-SELECT(1) and GREEDY work from closed frequent two-view
 	// itemset candidates.
-	cands, err := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
+	cands, err := twoview.MineCandidates(ctx, d, 1, 0, twoview.ParallelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%d candidate itemsets at minsup 1\n\n", len(cands))
 
-	sel := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	sel, err := twoview.MineSelect(ctx, d, cands, twoview.SelectOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("TRANSLATOR-SELECT(1) found:")
 	printTable(d, sel)
 
-	greedy := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+	greedy, err := twoview.MineGreedy(ctx, d, cands, twoview.GreedyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nTRANSLATOR-GREEDY found:")
 	printTable(d, greedy)
 }

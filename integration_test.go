@@ -6,6 +6,7 @@ package twoview_test
 // do.
 
 import (
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -171,12 +172,12 @@ func TestPipelineAllModules(t *testing.T) {
 	if len(truth) == 0 {
 		t.Fatal("no ground truth")
 	}
-	cands, err := twoview.MineCandidates(d, 2, 0, twoview.ParallelOptions{})
+	cands, err := twoview.MineCandidates(context.Background(), d, 2, 0, twoview.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
-	gre := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+	sel, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
+	gre, _ := twoview.MineGreedy(context.Background(), d, cands, twoview.GreedyOptions{})
 	ms, mg := twoview.Summarize(d, sel), twoview.Summarize(d, gre)
 	if ms.LPct >= 100 || mg.LPct >= 100 {
 		t.Fatalf("no compression: select %v greedy %v", ms.LPct, mg.LPct)

@@ -7,6 +7,7 @@
 package assoc
 
 import (
+	"context"
 	"sort"
 
 	"twoview/internal/core"
@@ -42,7 +43,7 @@ type Options struct {
 // A pair (X, Y) passing in both directions yields one bidirectional rule
 // carrying c+; otherwise one unidirectional rule per passing direction.
 func Mine(d *dataset.Dataset, opt Options) ([]Rule, error) {
-	fis, err := eclat.Mine(d, eclat.Options{
+	fis, err := eclat.Mine(context.Background(), d, eclat.Options{
 		MinSupport: opt.MinSupport,
 		TwoView:    true,
 		MaxResults: 0,
@@ -87,7 +88,7 @@ func Mine(d *dataset.Dataset, opt Options) ([]Rule, error) {
 // Count returns the number of rules Mine would produce, without keeping
 // them; it is used to report the pattern explosion sizes of §6.3.
 func Count(d *dataset.Dataset, opt Options) (int, error) {
-	fis, err := eclat.Mine(d, eclat.Options{MinSupport: opt.MinSupport, TwoView: true})
+	fis, err := eclat.Mine(context.Background(), d, eclat.Options{MinSupport: opt.MinSupport, TwoView: true})
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@
 package krimp
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -255,7 +256,7 @@ func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
 
 	// Candidates: closed frequent itemsets of the joined data in
 	// standard candidate order.
-	fis, err := eclat.Mine(d, eclat.Options{
+	fis, err := eclat.Mine(context.Background(), d, eclat.Options{
 		MinSupport: opt.MinSupport,
 		Closed:     true,
 		MaxResults: opt.MaxResults,

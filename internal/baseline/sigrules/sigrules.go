@@ -12,6 +12,7 @@
 package sigrules
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -145,7 +146,7 @@ func minePass(full, expl, hold *dataset.Dataset, antView dataset.View, opt Optio
 	consView := antView.Opposite()
 	// Candidate generation on the exploratory half: frequent two-view
 	// itemsets whose projection on the consequent view is one item.
-	fis, err := eclat.Mine(expl, eclat.Options{
+	fis, err := eclat.Mine(context.Background(), expl, eclat.Options{
 		MinSupport: opt.MinSupport,
 		TwoView:    true,
 		MaxItems:   opt.MaxAntecedent + 1,

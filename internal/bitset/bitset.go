@@ -334,12 +334,18 @@ func (s *Set) ForEach(f func(i int) bool) {
 
 // Indices returns the set bits in ascending order as a fresh slice.
 func (s *Set) Indices() []int {
-	out := make([]int, 0, s.Count())
+	return s.AppendIndices(make([]int, 0, s.Count()))
+}
+
+// AppendIndices appends the set bits to dst in ascending order, for
+// callers recycling an id buffer across rows (the serving layer's
+// per-row translations).
+func (s *Set) AppendIndices(dst []int) []int {
 	s.ForEach(func(i int) bool {
-		out = append(out, i)
+		dst = append(dst, i)
 		return true
 	})
-	return out
+	return dst
 }
 
 // String renders the set as {i1 i2 ...} for debugging.

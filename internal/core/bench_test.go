@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"twoview/internal/dataset"
@@ -74,7 +75,7 @@ func BenchmarkMineExact(b *testing.B) {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if res := MineExact(d, bench.opt); res.Table.Size() == 0 {
+				if res := mustExact(b, d, bench.opt); res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}
 			}
@@ -88,7 +89,7 @@ func BenchmarkMineExact(b *testing.B) {
 // shape that stresses the per-phase overhead of the persistent pool.
 func BenchmarkMineSelect(b *testing.B) {
 	d := plantedDataset(b, 77)
-	cands, err := MineCandidates(d, 1, 0, Parallel(1))
+	cands, err := MineCandidates(context.Background(), d, 1, 0, Parallel(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func BenchmarkMineSelect(b *testing.B) {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if res := MineSelect(d, cands, bench.opt); res.Table.Size() == 0 {
+				if res := mustSelect(b, d, cands, bench.opt); res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}
 			}
@@ -116,7 +117,7 @@ func BenchmarkMineSelect(b *testing.B) {
 // speculative block-parallel version.
 func BenchmarkMineGreedy(b *testing.B) {
 	d := plantedDataset(b, 77)
-	cands, err := MineCandidates(d, 1, 0, Parallel(1))
+	cands, err := MineCandidates(context.Background(), d, 1, 0, Parallel(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func BenchmarkMineGreedy(b *testing.B) {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if res := MineGreedy(d, cands, bench.opt); res.Table.Size() == 0 {
+				if res := mustGreedy(b, d, cands, bench.opt); res.Table.Size() == 0 {
 					b.Fatal("no rules")
 				}
 			}
@@ -156,7 +157,7 @@ func BenchmarkMineCandidates(b *testing.B) {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				cands, err := MineCandidates(d, 1, 0, bench.par)
+				cands, err := MineCandidates(context.Background(), d, 1, 0, bench.par)
 				if err != nil || len(cands) == 0 {
 					b.Fatalf("candidates: %v (%d)", err, len(cands))
 				}
@@ -175,5 +176,72 @@ func BenchmarkTranslateRow(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TranslateRow(d, tab, dataset.Left, row)
+	}
+}
+
+// servingFixture mines a realistic table once; the serving benchmarks
+// apply it many times.
+func servingFixture(b *testing.B) (*dataset.Dataset, *Table) {
+	b.Helper()
+	d := plantedDataset(b, 81)
+	cands := mustCandidates(b, d, 1, 0, Parallel(1))
+	res := mustSelect(b, d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(1)})
+	if res.Table.Size() == 0 {
+		b.Fatal("no rules to serve")
+	}
+	return d, res.Table
+}
+
+// BenchmarkApply measures the one-shot Apply path: table preparation
+// (compilation) is paid on every call — the cost profile of the v1 API,
+// which re-derived everything per call.
+func BenchmarkApply(b *testing.B) {
+	d, tab := servingFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(context.Background(), d, tab, dataset.Left); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslatorBatch measures the compiled batch translation:
+// the Translator is compiled once outside the loop and each iteration
+// runs TranslateBatch over the whole view, materializing the per-row
+// translations — the "mine once, Apply many" steady state. Its ns/op
+// against BenchmarkApply quantifies the amortized preparation; both
+// enter cmd/benchreport's parsed set and the CI regression gate.
+func BenchmarkTranslatorBatch(b *testing.B) {
+	d, tab := servingFixture(b)
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TranslateBatch(context.Background(), d, dataset.Left); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslatorApply measures the compiled report path (the
+// counting matcher plus fused correction counts, nothing
+// materialized): the pure serving cost of one Apply pass once
+// compilation is amortized away.
+func BenchmarkTranslatorApply(b *testing.B) {
+	d, tab := servingFixture(b)
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Apply(context.Background(), d, dataset.Left); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

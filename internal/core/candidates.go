@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"twoview/internal/bitset"
 	"twoview/internal/dataset"
 	"twoview/internal/itemset"
@@ -27,8 +29,9 @@ type Candidate struct {
 // pattern explosion (0 = unbounded). Both the ECLAT walk and the
 // per-candidate tidset materialization run on the internal/pool worker
 // pool sized by par; the result is identical for any worker count.
-func MineCandidates(d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
-	fis, err := eclat.Mine(d, eclat.Options{
+// Cancelling ctx aborts the walk and returns ctx.Err().
+func MineCandidates(ctx context.Context, d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
+	fis, err := eclat.Mine(ctx, d, eclat.Options{
 		MinSupport: minSupport,
 		Closed:     true,
 		TwoView:    true,
@@ -50,13 +53,17 @@ func MineCandidates(d *dataset.Dataset, minSupport, maxResults int, par Parallel
 	// touches only its own candidate's slots, so the parallel
 	// materialization stays deterministic.
 	tids := bitset.NewBatch(2*len(fis), d.Size())
-	return pool.MapOrderedOn(par.runtime(), par.Workers, len(fis), func(i int) Candidate {
+	cands, err := pool.MapOrderedIntoCtxOn(par.runtime(), ctx, nil, par.Workers, len(fis), func(i int) Candidate {
 		x, y := eclat.SplitInPlace(fis[i].Items, nLeft)
 		tidX, tidY := &tids[2*i], &tids[2*i+1]
 		d.SupportSetInto(tidX, dataset.Left, x)
 		d.SupportSetInto(tidY, dataset.Right, y)
 		return Candidate{X: x, Y: y, Supp: fis[i].Supp, TidX: tidX, TidY: tidY}
-	}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cands, nil
 }
 
 // MineCandidatesCapped mines candidates like MineCandidates but, instead
@@ -64,18 +71,23 @@ func MineCandidates(d *dataset.Dataset, minSupport, maxResults int, par Parallel
 // most maxResults candidates remain — the paper's protocol of fixing
 // minsup "such that the number of candidates remains manageable" (§6.1).
 // It returns the candidates and the effective minimum support.
-func MineCandidatesCapped(d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
+// A context cancellation is never retried: it aborts the doubling loop
+// immediately with ctx.Err().
+func MineCandidatesCapped(ctx context.Context, d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
 	if minSupport < 1 {
 		minSupport = 1
 	}
 	if maxResults <= 0 {
-		cands, err := MineCandidates(d, minSupport, 0, par)
+		cands, err := MineCandidates(ctx, d, minSupport, 0, par)
 		return cands, minSupport, err
 	}
 	for {
-		cands, err := MineCandidates(d, minSupport, maxResults, par)
+		cands, err := MineCandidates(ctx, d, minSupport, maxResults, par)
 		if err == nil {
 			return cands, minSupport, nil
+		}
+		if ctx.Err() != nil {
+			return nil, minSupport, ctx.Err()
 		}
 		next := minSupport * 2
 		if next > d.Size() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -181,7 +182,7 @@ func TestMinersColumnarBitIdenticalAcrossWorkers(t *testing.T) {
 	workerSets := []int{1, 2, 4, 7}
 	for _, seed := range []int64{3, 17, 41} {
 		d := plantedDataset(t, seed)
-		cands, err := MineCandidates(d, 1, 0, Parallel(1))
+		cands, err := MineCandidates(context.Background(), d, 1, 0, Parallel(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,13 +192,13 @@ func TestMinersColumnarBitIdenticalAcrossWorkers(t *testing.T) {
 		}
 		miners := []miner{
 			{"exact", func(w int) *Result {
-				return MineExact(d, ExactOptions{ParallelOptions: Parallel(w)})
+				return mustExact(t, d, ExactOptions{ParallelOptions: Parallel(w)})
 			}},
 			{"select", func(w int) *Result {
-				return MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(w)})
+				return mustSelect(t, d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(w)})
 			}},
 			{"greedy", func(w int) *Result {
-				return MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(w)})
+				return mustGreedy(t, d, cands, GreedyOptions{ParallelOptions: Parallel(w)})
 			}},
 		}
 		for _, m := range miners {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"sort"
 	"time"
@@ -50,6 +51,9 @@ type ExactOptions struct {
 	MaxRules int
 	// Trace observes each added rule.
 	Trace TraceFunc
+	// OnIteration observes each added rule and may stop the run early by
+	// returning false (the partial table is returned with a nil error).
+	OnIteration IterationFunc
 	// DisableRub and DisableQub turn off the §5.2 pruning bounds. The
 	// search then degenerates to exhaustive enumeration of occurring
 	// pairs; results are identical. Used by the ablation benchmarks.
@@ -62,7 +66,13 @@ type ExactOptions struct {
 
 // MineExact runs TRANSLATOR-EXACT on d and returns the induced translation
 // table. It is parameter-free (ExactOptions only bounds or observes it).
-func MineExact(d *dataset.Dataset, opt ExactOptions) *Result {
+//
+// Cancelling ctx aborts the search at the next checkpoint — the
+// iteration boundary, a phase task boundary, or the periodic in-branch
+// probe of the depth-first search — and returns the table mined so far
+// alongside ctx.Err(). With an uncancelled context the result is
+// bit-identical for every worker count and the error is nil.
+func MineExact(ctx context.Context, d *dataset.Dataset, opt ExactOptions) (*Result, error) {
 	start := time.Now()
 	coder := mdl.NewCoder(d)
 	s := NewState(d, coder)
@@ -71,17 +81,25 @@ func MineExact(d *dataset.Dataset, opt ExactOptions) *Result {
 	// per-worker states (and their per-depth DFS scratch) persist across
 	// iterations, and the phases run on the session's parked workers.
 	search := newExactRun(s, opt)
+	var err error
 	for opt.MaxRules == 0 || len(s.table.Rules) < opt.MaxRules {
-		r, gain, ok := search.bestRule()
-		if !ok || gain <= gainEpsilon {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		var r Rule
+		var gain float64
+		var ok bool
+		if r, gain, ok, err = search.bestRule(ctx); err != nil || !ok || gain <= gainEpsilon {
 			break
 		}
 		s.AddRule(r)
-		res.record(s, r, gain, opt.Trace)
+		if !res.record(s, r, gain, opt.Trace, opt.OnIteration) {
+			break
+		}
 	}
 	res.Table = s.Table()
 	res.Runtime = time.Since(start)
-	return res
+	return res, err
 }
 
 // joinedItem is one item of the joined alphabet used by the search.
@@ -102,6 +120,10 @@ type exactRun struct {
 	s    *State
 	opt  ExactOptions
 	pool *pool.Pool[*exactSearch]
+	// ctx is the context of the current bestRule call, installed before
+	// the phases are submitted (the phase barrier publishes it to the
+	// workers) and probed periodically inside the DFS.
+	ctx context.Context
 
 	// items is rebuilt (re-sorted by potential) every iteration; the
 	// slice itself is reused, as are its per-view partitions. All worker
@@ -135,7 +157,17 @@ type exactSearch struct {
 	bestX, bestY itemset.Itemset
 	bestGain     float64
 	found        bool
+
+	// Cancellation probe state: ticks counts visited DFS nodes, and
+	// stopped latches once the run's context reports cancellation, so
+	// the recursion unwinds without re-probing at every level.
+	ticks   uint
+	stopped bool
 }
+
+// exactCtxProbeMask gates the in-branch cancellation probe of the
+// branch-and-bound DFS: one ctx.Err() call per 1024 extensions.
+const exactCtxProbeMask = 1<<10 - 1
 
 type levelBufs struct {
 	xy   *bitset.Set     // joint support of the extended pair
@@ -199,8 +231,9 @@ func newExactRun(s *State, opt ExactOptions) *exactRun {
 // phases — singleton seeding, then one task per top-level DFS branch
 // (dynamic assignment: branch costs are heavily skewed toward early
 // items) — followed by a champion merge under the (gain, Rule.Compare)
-// total order.
-func (run *exactRun) bestRule() (Rule, float64, bool) {
+// total order. A cancelled ctx aborts both phases and returns ctx.Err();
+// the partial champions are discarded.
+func (run *exactRun) bestRule(ctx context.Context) (Rule, float64, bool, error) {
 	s, opt := run.s, run.opt
 	d := s.d
 	// Rebuild the item order: the potentials depend on the current
@@ -239,11 +272,13 @@ func (run *exactRun) bestRule() (Rule, float64, bool) {
 	run.items = items
 
 	// Reset the per-iteration search state; worker scratch persists.
+	run.ctx = ctx
 	if run.shared != nil {
 		run.shared.Reset()
 	}
 	for _, se := range run.pool.States() {
 		se.best, se.bestGain, se.found = Rule{}, 0, false
+		se.stopped = false
 	}
 
 	// Root values of the incremental rub sums: both sides start at full
@@ -261,20 +296,24 @@ func (run *exactRun) bestRule() (Rule, float64, bool) {
 	// threshold instead of zero, which the tub-based item order alone
 	// cannot guarantee. Exactness is unaffected: the DFS still visits
 	// every candidate subtree whose bound reaches the incumbent.
-	run.pool.Run(len(lefts), func(se *exactSearch, i int) {
+	if err := run.pool.RunCtx(ctx, len(lefts), func(se *exactSearch, i int) {
 		for _, ri := range rights {
 			if !lefts[i].col.Intersects(ri.col) {
 				continue // the pair must occur in the data
 			}
 			se.seedPair(lefts[i], ri)
 		}
-	})
+	}); err != nil {
+		return Rule{}, 0, false, err
+	}
 	// DFS phase: each task is one top-level branch (extend the empty
 	// pair with item k, then search positions > k). The root tidsets are
 	// only read, so all workers share them.
-	run.pool.Run(len(items), func(se *exactSearch, k int) {
+	if err := run.pool.RunCtx(ctx, len(items), func(se *exactSearch, k int) {
 		se.extend(nil, nil, run.full, run.fullY, run.fullXY, k, 0, 0, 0, rootRX, rootLY)
-	})
+	}); err != nil {
+		return Rule{}, 0, false, err
+	}
 
 	// Champion merge under the same (gain, Rule.Compare) total order the
 	// workers use internally, so the result is bit-identical to the
@@ -292,19 +331,20 @@ func (run *exactRun) bestRule() (Rule, float64, bool) {
 		}
 	}
 	if !found {
-		return Rule{}, 0, false
+		return Rule{}, 0, false, nil
 	}
 	// The winner still aliases its worker's champion buffers, which the
 	// next iteration overwrites; clone once here — the only per-iteration
 	// champion allocation left.
-	return Rule{X: best.X.Clone(), Dir: best.Dir, Y: best.Y.Clone()}, bestGain, true
+	return Rule{X: best.X.Clone(), Dir: best.Dir, Y: best.Y.Clone()}, bestGain, true, nil
 }
 
 // bestRule runs a single best-rule search on a transient run context,
 // for one-shot callers (tests, benchmarks); MineExact reuses one run
 // across its iterations instead.
 func bestRule(s *State, opt ExactOptions) (Rule, float64, bool) {
-	return newExactRun(s, opt).bestRule()
+	r, gain, ok, _ := newExactRun(s, opt).bestRule(context.Background())
+	return r, gain, ok
 }
 
 // splitViews partitions the search items by view, preserving the global
@@ -349,6 +389,17 @@ func (se *exactSearch) dfs(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, 
 // sum is re-accumulated while intersecting (one fused pass) and the other
 // side's sum is inherited unchanged.
 func (se *exactSearch) extend(x, y itemset.Itemset, tidX, tidY, tidXY *bitset.Set, k, depth int, lenX, lenY, sumRX, sumLY float64) {
+	// Cancellation probe: once the run's context is cancelled the whole
+	// recursion unwinds via the latched flag. The champions this search
+	// has accumulated are discarded by bestRule, so cutting mid-branch
+	// cannot leak a schedule-dependent result.
+	if se.stopped {
+		return
+	}
+	if se.ticks++; se.ticks&exactCtxProbeMask == 0 && se.ctx.Err() != nil {
+		se.stopped = true
+		return
+	}
 	it := se.items[k]
 	bufs := se.bufs(depth)
 	// The joint support of the extended pair.

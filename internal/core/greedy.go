@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"time"
 
@@ -38,6 +39,9 @@ type GreedyOptions struct {
 	BlockSize int
 	// Trace observes each added rule.
 	Trace TraceFunc
+	// OnIteration observes each added rule and may stop the run early by
+	// returning false (the partial table is returned with a nil error).
+	OnIteration IterationFunc
 	// ParallelOptions sets the worker-pool size for speculative
 	// candidate scoring; results are identical for any value.
 	ParallelOptions
@@ -58,6 +62,10 @@ const (
 	greedyMaxBlock = 512
 )
 
+// greedyCtxProbeMask gates the lazy serial walk's cancellation probe:
+// one ctx.Err() call per 256 scored candidates.
+const greedyCtxProbeMask = 1<<8 - 1
+
 // greedyScore is one candidate's speculative evaluation: the best of its
 // three rule instantiations, or ok=false when the candidate is discarded
 // (qub hopeless or no strictly positive gain).
@@ -68,7 +76,13 @@ type greedyScore struct {
 }
 
 // MineGreedy runs TRANSLATOR-GREEDY over the given candidates.
-func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Result {
+//
+// Cancelling ctx aborts the pass at the next checkpoint (a block
+// boundary or a task boundary inside the speculative scoring phase) and
+// returns the table mined so far alongside ctx.Err(). With an
+// uncancelled context the result is bit-identical for every worker
+// count and the error is nil.
+func MineGreedy(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt GreedyOptions) (*Result, error) {
 	start := time.Now()
 	coder := mdl.NewCoder(d)
 	s := NewState(d, coder)
@@ -111,7 +125,12 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		maxBlock = greedyMaxBlock
 	}
 	pos, block := 0, min(greedyMinBlock, maxBlock)
-	for pos < len(order) {
+	var err error
+	stopped := false
+	for pos < len(order) && !stopped {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 			break
 		}
@@ -123,9 +142,11 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 		// the reused block buffer.
 		var scores []greedyScore
 		if speculate {
-			scr.scores = pool.MapOrderedIntoOn(rt, scr.scores, opt.Workers, end-pos, func(i int) greedyScore {
+			if scr.scores, err = pool.MapOrderedIntoCtxOn(rt, ctx, scr.scores, opt.Workers, end-pos, func(i int) greedyScore {
 				return scoreGreedyCandidate(s, &cands[order[pos+i]])
-			})
+			}); err != nil {
+				break
+			}
 			scores = scr.scores
 		}
 		// Serial walk: the first accepted rule invalidates the remaining
@@ -138,13 +159,24 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 			if speculate {
 				sc = scores[j-pos]
 			} else {
+				// The lazy serial walk probes ctx at the granularity the
+				// speculative path gets from its phase task boundaries;
+				// BlockSize may be arbitrarily large, so the block loop
+				// alone does not bound cancellation latency.
+				if (j-pos)&greedyCtxProbeMask == greedyCtxProbeMask {
+					if err = ctx.Err(); err != nil {
+						break
+					}
+				}
 				sc = scoreGreedyCandidate(s, &cands[order[j]])
 			}
 			if !sc.ok {
 				continue // discarded and never considered again
 			}
 			s.AddRule(sc.rule)
-			res.record(s, sc.rule, sc.gain, opt.Trace)
+			if !res.record(s, sc.rule, sc.gain, opt.Trace, opt.OnIteration) {
+				stopped = true
+			}
 			next = j + 1
 			block = min(greedyMinBlock, maxBlock)
 			break
@@ -154,7 +186,7 @@ func MineGreedy(d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Resul
 	opt.putScratch(scr)
 	res.Table = s.Table()
 	res.Runtime = time.Since(start)
-	return res
+	return res, err
 }
 
 // scoreGreedyCandidate evaluates one candidate against the current state:

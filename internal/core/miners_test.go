@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -36,6 +37,45 @@ func plantedDataset(t testing.TB, seed int64) *dataset.Dataset {
 		}
 	}
 	return d
+}
+
+// Test harness for the ctx-first miners: run on context.Background()
+// and fail the test on any error (uncancelled in-memory runs must not
+// error).
+func mustExact(tb testing.TB, d *dataset.Dataset, opt ExactOptions) *Result {
+	tb.Helper()
+	res, err := MineExact(context.Background(), d, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func mustSelect(tb testing.TB, d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Result {
+	tb.Helper()
+	res, err := MineSelect(context.Background(), d, cands, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func mustGreedy(tb testing.TB, d *dataset.Dataset, cands []Candidate, opt GreedyOptions) *Result {
+	tb.Helper()
+	res, err := MineGreedy(context.Background(), d, cands, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func mustCandidates(tb testing.TB, d *dataset.Dataset, minSupport, maxResults int, par ParallelOptions) []Candidate {
+	tb.Helper()
+	cands, err := MineCandidates(context.Background(), d, minSupport, maxResults, par)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cands
 }
 
 // bruteForceBestRule enumerates every rule whose X∪Y occurs in the data
@@ -151,7 +191,7 @@ func TestBestRulePruningAblation(t *testing.T) {
 
 func TestMineExactFindsPlantedRule(t *testing.T) {
 	d := plantedDataset(t, 5)
-	res := MineExact(d, ExactOptions{})
+	res := mustExact(t, d, ExactOptions{})
 	if res.Table.Size() == 0 {
 		t.Fatal("no rules found")
 	}
@@ -178,7 +218,7 @@ func TestMineExactFindsPlantedRule(t *testing.T) {
 
 func TestMineExactMaxRules(t *testing.T) {
 	d := plantedDataset(t, 6)
-	res := MineExact(d, ExactOptions{MaxRules: 1})
+	res := mustExact(t, d, ExactOptions{MaxRules: 1})
 	if res.Table.Size() != 1 {
 		t.Fatalf("MaxRules=1 produced %d rules", res.Table.Size())
 	}
@@ -187,7 +227,7 @@ func TestMineExactMaxRules(t *testing.T) {
 func TestMineExactTrace(t *testing.T) {
 	d := plantedDataset(t, 7)
 	var seen int
-	res := MineExact(d, ExactOptions{Trace: func(it IterationStats) { seen++ }})
+	res := mustExact(t, d, ExactOptions{Trace: func(it IterationStats) { seen++ }})
 	if seen != len(res.Iterations) {
 		t.Fatalf("trace saw %d iterations, result has %d", seen, len(res.Iterations))
 	}
@@ -195,14 +235,14 @@ func TestMineExactTrace(t *testing.T) {
 
 func TestMineSelectBasics(t *testing.T) {
 	d := plantedDataset(t, 8)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
-	res := MineSelect(d, cands, SelectOptions{K: 1})
+	res := mustSelect(t, d, cands, SelectOptions{K: 1})
 	if res.Table.Size() == 0 {
 		t.Fatal("SELECT(1) found nothing")
 	}
@@ -214,7 +254,7 @@ func TestMineSelectBasics(t *testing.T) {
 		t.Fatal("SELECT did not compress")
 	}
 	// The EXACT compression is at least as good on this easy data.
-	exact := MineExact(d, ExactOptions{})
+	exact := mustExact(t, d, ExactOptions{})
 	if exact.State.Score() > res.State.Score()+1e-6 {
 		t.Fatalf("EXACT (%v) worse than SELECT (%v)", exact.State.Score(), res.State.Score())
 	}
@@ -222,18 +262,18 @@ func TestMineSelectBasics(t *testing.T) {
 
 func TestMineSelectKBatches(t *testing.T) {
 	d := plantedDataset(t, 9)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1 := MineSelect(d, cands, SelectOptions{K: 1})
-	k25 := MineSelect(d, cands, SelectOptions{K: 25})
+	k1 := mustSelect(t, d, cands, SelectOptions{K: 1})
+	k25 := mustSelect(t, d, cands, SelectOptions{K: 25})
 	// Both must compress; k=25 may be slightly worse but never inflate.
 	if k1.State.CompressionRatio() >= 100 || k25.State.CompressionRatio() >= 100 {
 		t.Fatal("SELECT variants failed to compress")
 	}
 	// Determinism.
-	again := MineSelect(d, cands, SelectOptions{K: 25})
+	again := mustSelect(t, d, cands, SelectOptions{K: 25})
 	if again.Table.Size() != k25.Table.Size() {
 		t.Fatal("SELECT(25) not deterministic")
 	}
@@ -251,11 +291,11 @@ func TestMineSelectOverlapFilter(t *testing.T) {
 	// boundaries: instead, simply check the first round: run with
 	// MaxRules equal to what one round can add and validate disjointness.
 	d := plantedDataset(t, 10)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := MineSelect(d, cands, SelectOptions{K: 1000, MaxRules: 1000})
+	res := mustSelect(t, d, cands, SelectOptions{K: 1000, MaxRules: 1000})
 	if res.Table.Size() == 0 {
 		t.Fatal("nothing mined")
 	}
@@ -272,11 +312,11 @@ func TestMineSelectOverlapFilter(t *testing.T) {
 
 func TestMineGreedyBasics(t *testing.T) {
 	d := plantedDataset(t, 11)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := MineGreedy(d, cands, GreedyOptions{})
+	res := mustGreedy(t, d, cands, GreedyOptions{})
 	if res.Table.Size() == 0 {
 		t.Fatal("GREEDY found nothing")
 	}
@@ -287,12 +327,12 @@ func TestMineGreedyBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Determinism.
-	again := MineGreedy(d, cands, GreedyOptions{})
+	again := mustGreedy(t, d, cands, GreedyOptions{})
 	if again.Table.Size() != res.Table.Size() {
 		t.Fatal("GREEDY not deterministic")
 	}
 	// MaxRules respected.
-	one := MineGreedy(d, cands, GreedyOptions{MaxRules: 1})
+	one := mustGreedy(t, d, cands, GreedyOptions{MaxRules: 1})
 	if one.Table.Size() != 1 {
 		t.Fatalf("MaxRules=1 gave %d rules", one.Table.Size())
 	}
@@ -302,14 +342,14 @@ func TestMinersScoreConsistency(t *testing.T) {
 	// For every miner, the recorded final score must equal an independent
 	// EvaluateTable replay of the mined table.
 	d := plantedDataset(t, 12)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	results := map[string]*Result{
-		"exact":  MineExact(d, ExactOptions{}),
-		"select": MineSelect(d, cands, SelectOptions{K: 1}),
-		"greedy": MineGreedy(d, cands, GreedyOptions{}),
+		"exact":  mustExact(t, d, ExactOptions{}),
+		"select": mustSelect(t, d, cands, SelectOptions{K: 1}),
+		"greedy": mustGreedy(t, d, cands, GreedyOptions{}),
 	}
 	coder := mdl.NewCoder(d)
 	for name, res := range results {
@@ -322,7 +362,7 @@ func TestMinersScoreConsistency(t *testing.T) {
 
 func TestMineCandidatesRespectsMinSupport(t *testing.T) {
 	d := plantedDataset(t, 13)
-	cands, err := MineCandidates(d, 30, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 30, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +377,7 @@ func TestMineCandidatesRespectsMinSupport(t *testing.T) {
 			t.Fatal("per-side support below joint support")
 		}
 	}
-	if _, err := MineCandidates(d, 1, 2, ParallelOptions{}); err == nil {
+	if _, err := MineCandidates(context.Background(), d, 1, 2, ParallelOptions{}); err == nil {
 		t.Fatal("MaxResults guard did not trigger")
 	}
 }
@@ -345,16 +385,16 @@ func TestMineCandidatesRespectsMinSupport(t *testing.T) {
 func TestMineCandidatesCapped(t *testing.T) {
 	d := plantedDataset(t, 14)
 	// Uncapped: equivalent to MineCandidates.
-	a, ms, err := MineCandidatesCapped(d, 1, 0, ParallelOptions{})
+	a, ms, err := MineCandidatesCapped(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil || ms != 1 {
 		t.Fatalf("uncapped: ms=%d err=%v", ms, err)
 	}
-	b, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	b, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil || len(a) != len(b) {
 		t.Fatalf("uncapped mismatch: %d vs %d", len(a), len(b))
 	}
 	// Tight cap: support must rise until the candidate set fits.
-	capped, ms, err := MineCandidatesCapped(d, 1, 10, ParallelOptions{})
+	capped, ms, err := MineCandidatesCapped(context.Background(), d, 1, 10, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

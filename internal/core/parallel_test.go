@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,13 +9,13 @@ import (
 // worker and with many workers produce identical tables.
 func TestMineSelectParallelDeterminism(t *testing.T) {
 	d := plantedDataset(t, 31)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(1)})
+	serial := mustSelect(t, d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(1)})
 	for _, workers := range []int{2, 4, 7} {
-		par := MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(workers)})
+		par := mustSelect(t, d, cands, SelectOptions{K: 25, ParallelOptions: Parallel(workers)})
 		if par.Table.Size() != serial.Table.Size() {
 			t.Fatalf("workers=%d: %d rules, serial %d",
 				workers, par.Table.Size(), serial.Table.Size())
@@ -36,12 +37,12 @@ func TestMineSelectParallelDeterminism(t *testing.T) {
 func TestMineExactParallelDeterminism(t *testing.T) {
 	for _, seed := range []int64{31, 33, 35} {
 		d := plantedDataset(t, seed)
-		serial := MineExact(d, ExactOptions{ParallelOptions: Parallel(1)})
+		serial := mustExact(t, d, ExactOptions{ParallelOptions: Parallel(1)})
 		if serial.Table.Size() == 0 {
 			t.Fatalf("seed %d: serial found no rules", seed)
 		}
 		for _, workers := range []int{2, 4, 7} {
-			par := MineExact(d, ExactOptions{ParallelOptions: Parallel(workers)})
+			par := mustExact(t, d, ExactOptions{ParallelOptions: Parallel(workers)})
 			if par.Table.Size() != serial.Table.Size() {
 				t.Fatalf("seed %d workers=%d: %d rules, serial %d",
 					seed, workers, par.Table.Size(), serial.Table.Size())
@@ -70,8 +71,8 @@ func TestMineExactParallelDeterminism(t *testing.T) {
 // ablation configurations walk the same enumeration).
 func TestMineExactParallelNoBounds(t *testing.T) {
 	d := plantedDataset(t, 34)
-	serial := MineExact(d, ExactOptions{MaxRules: 3, ParallelOptions: Parallel(1)})
-	par := MineExact(d, ExactOptions{MaxRules: 3, DisableRub: true, DisableQub: true, ParallelOptions: Parallel(4)})
+	serial := mustExact(t, d, ExactOptions{MaxRules: 3, ParallelOptions: Parallel(1)})
+	par := mustExact(t, d, ExactOptions{MaxRules: 3, DisableRub: true, DisableQub: true, ParallelOptions: Parallel(4)})
 	if par.Table.Size() != serial.Table.Size() {
 		t.Fatalf("%d rules, serial %d", par.Table.Size(), serial.Table.Size())
 	}
@@ -88,8 +89,8 @@ func TestMineExactParallelNoBounds(t *testing.T) {
 // Default (Workers=0 → GOMAXPROCS) matches the serial result for EXACT.
 func TestMineExactDefaultWorkers(t *testing.T) {
 	d := plantedDataset(t, 36)
-	a := MineExact(d, ExactOptions{MaxRules: 4, ParallelOptions: Parallel(1)})
-	b := MineExact(d, ExactOptions{MaxRules: 4})
+	a := mustExact(t, d, ExactOptions{MaxRules: 4, ParallelOptions: Parallel(1)})
+	b := mustExact(t, d, ExactOptions{MaxRules: 4})
 	if a.Table.Size() != b.Table.Size() || a.State.Score() != b.State.Score() {
 		t.Fatal("default workers changed the result")
 	}
@@ -98,12 +99,12 @@ func TestMineExactDefaultWorkers(t *testing.T) {
 // Default (Workers=0 → GOMAXPROCS) matches the serial result too.
 func TestMineSelectDefaultWorkers(t *testing.T) {
 	d := plantedDataset(t, 32)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := MineSelect(d, cands, SelectOptions{K: 1, ParallelOptions: Parallel(1)})
-	b := MineSelect(d, cands, SelectOptions{K: 1})
+	a := mustSelect(t, d, cands, SelectOptions{K: 1, ParallelOptions: Parallel(1)})
+	b := mustSelect(t, d, cands, SelectOptions{K: 1})
 	if a.Table.Size() != b.Table.Size() || a.State.Score() != b.State.Score() {
 		t.Fatal("default workers changed the result")
 	}
@@ -114,16 +115,16 @@ func TestMineSelectDefaultWorkers(t *testing.T) {
 func TestMineGreedyParallelDeterminism(t *testing.T) {
 	for _, seed := range []int64{31, 35} {
 		d := plantedDataset(t, seed)
-		cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+		cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial := MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(1)})
+		serial := mustGreedy(t, d, cands, GreedyOptions{ParallelOptions: Parallel(1)})
 		if serial.Table.Size() == 0 {
 			t.Fatalf("seed %d: serial found no rules", seed)
 		}
 		for _, workers := range []int{2, 4, 7} {
-			par := MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(workers)})
+			par := mustGreedy(t, d, cands, GreedyOptions{ParallelOptions: Parallel(workers)})
 			if par.Table.Size() != serial.Table.Size() {
 				t.Fatalf("seed %d workers=%d: %d rules, serial %d",
 					seed, workers, par.Table.Size(), serial.Table.Size())
@@ -149,12 +150,12 @@ func TestMineGreedyParallelDeterminism(t *testing.T) {
 // (the speculative walk may not run past the cap).
 func TestMineGreedyParallelMaxRules(t *testing.T) {
 	d := plantedDataset(t, 37)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := MineGreedy(d, cands, GreedyOptions{MaxRules: 2, ParallelOptions: Parallel(1)})
-	par := MineGreedy(d, cands, GreedyOptions{MaxRules: 2, ParallelOptions: Parallel(4)})
+	serial := mustGreedy(t, d, cands, GreedyOptions{MaxRules: 2, ParallelOptions: Parallel(1)})
+	par := mustGreedy(t, d, cands, GreedyOptions{MaxRules: 2, ParallelOptions: Parallel(4)})
 	if serial.Table.Size() != par.Table.Size() {
 		t.Fatalf("%d rules, serial %d", par.Table.Size(), serial.Table.Size())
 	}
@@ -170,7 +171,7 @@ func TestMineGreedyParallelMaxRules(t *testing.T) {
 // worker count.
 func TestMineCandidatesParallelDeterminism(t *testing.T) {
 	d := plantedDataset(t, 31)
-	serial, err := MineCandidates(d, 1, 0, Parallel(1))
+	serial, err := MineCandidates(context.Background(), d, 1, 0, Parallel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestMineCandidatesParallelDeterminism(t *testing.T) {
 		t.Fatal("no candidates")
 	}
 	for _, workers := range []int{2, 4, 7} {
-		par, err := MineCandidates(d, 1, 0, Parallel(workers))
+		par, err := MineCandidates(context.Background(), d, 1, 0, Parallel(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,12 +203,12 @@ func TestMineCandidatesParallelDeterminism(t *testing.T) {
 // itself is deterministic.
 func TestMineCandidatesCappedParallelDeterminism(t *testing.T) {
 	d := plantedDataset(t, 33)
-	serial, ms1, err := MineCandidatesCapped(d, 1, 10, Parallel(1))
+	serial, ms1, err := MineCandidatesCapped(context.Background(), d, 1, 10, Parallel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 7} {
-		par, ms, err := MineCandidatesCapped(d, 1, 10, Parallel(workers))
+		par, ms, err := MineCandidatesCapped(context.Background(), d, 1, 10, Parallel(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func TestMineCandidatesCappedParallelDeterminism(t *testing.T) {
 			}
 		}
 	}
-	if _, err := MineCandidates(d, 1, 2, Parallel(4)); err == nil {
+	if _, err := MineCandidates(context.Background(), d, 1, 2, Parallel(4)); err == nil {
 		t.Fatal("parallel MaxResults guard did not trigger")
 	}
 }

@@ -26,6 +26,13 @@ type IterationStats struct {
 // TraceFunc observes each iteration of a TRANSLATOR algorithm as it runs.
 type TraceFunc func(IterationStats)
 
+// IterationFunc is the OnIteration progress hook shared by all three
+// miners: it observes each added rule like TraceFunc and additionally
+// steers the run — returning false stops mining cleanly after the
+// current iteration (the partial table is returned with a nil error).
+// It is invoked between search phases, never concurrently.
+type IterationFunc func(IterationStats) bool
+
 // Result is the output of a TRANSLATOR algorithm.
 type Result struct {
 	Table      *Table
@@ -35,8 +42,10 @@ type Result struct {
 }
 
 // record captures the state after adding rule r and appends it to the
-// result, also forwarding to the trace callback if any.
-func (res *Result) record(s *State, r Rule, gain float64, trace TraceFunc) {
+// result, forwarding to the trace and progress callbacks if any. It
+// reports whether mining should continue: false as soon as the
+// OnIteration hook asks for an early stop.
+func (res *Result) record(s *State, r Rule, gain float64, trace TraceFunc, onIter IterationFunc) bool {
 	it := IterationStats{
 		Iteration:  len(res.Iterations) + 1,
 		Rule:       r,
@@ -54,6 +63,10 @@ func (res *Result) record(s *State, r Rule, gain float64, trace TraceFunc) {
 	if trace != nil {
 		trace(it)
 	}
+	if onIter != nil {
+		return onIter(it)
+	}
+	return true
 }
 
 // gainEpsilon guards against accepting rules whose gain is positive only

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -32,6 +33,9 @@ type SelectOptions struct {
 	MaxRules int
 	// Trace observes each added rule.
 	Trace TraceFunc
+	// OnIteration observes each added rule and may stop the run early by
+	// returning false (the partial table is returned with a nil error).
+	OnIteration IterationFunc
 	// ParallelOptions sets the worker-pool size for per-round scoring
 	// and re-checking; results are identical for any value.
 	ParallelOptions
@@ -44,7 +48,13 @@ type scoredRule struct {
 }
 
 // MineSelect runs TRANSLATOR-SELECT(k) over the given candidates.
-func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Result {
+//
+// Cancelling ctx aborts the run at the next checkpoint (a round
+// boundary or a task boundary inside the scoring/re-check phases) and
+// returns the table mined so far alongside ctx.Err(). With an
+// uncancelled context the result is bit-identical for every worker
+// count and the error is nil.
+func MineSelect(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt SelectOptions) (*Result, error) {
 	start := time.Now()
 	if opt.K < 1 {
 		opt.K = 1
@@ -62,13 +72,20 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 	sc := opt.getScratch()
 	scored := sc.scored[:0]
 	usedL, usedR := &sc.usedL, &sc.usedR
-	for {
+	var err error
+	stopped := false
+	for !stopped {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		if opt.MaxRules > 0 && len(s.table.Rules) >= opt.MaxRules {
 			break
 		}
 		// Line 3: select the k rules with the highest Δ_{D,T} among all
 		// rules constructible from the candidates.
-		scored = scoreCandidates(rt, s, cands, scored[:0], opt.Workers)
+		if scored, err = scoreCandidates(ctx, rt, s, cands, scored[:0], opt.Workers); err != nil {
+			break
+		}
 		if len(scored) == 0 {
 			break
 		}
@@ -87,7 +104,9 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 		// walk computes each needed gain lazily at its turn instead.
 		var gains []float64
 		if opt.workerCount(len(scored)) > 1 {
-			sc.gains = recheckGains(rt, s, cands, scored, sc.gains, opt.Workers)
+			if sc.gains, err = recheckGains(ctx, rt, s, cands, scored, sc.gains, opt.Workers); err != nil {
+				break
+			}
 			gains = sc.gains
 		}
 
@@ -121,7 +140,9 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 				continue
 			}
 			s.AddRule(sr.rule)
-			res.record(s, sr.rule, gain, opt.Trace)
+			if !res.record(s, sr.rule, gain, opt.Trace, opt.OnIteration) {
+				stopped = true
+			}
 			for _, it := range sr.rule.X {
 				usedL.Add(it)
 			}
@@ -129,6 +150,9 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 				usedR.Add(it)
 			}
 			added = true
+			if stopped {
+				break // OnIteration asked for an early stop
+			}
 		}
 		if !added {
 			break
@@ -138,7 +162,7 @@ func MineSelect(d *dataset.Dataset, cands []Candidate, opt SelectOptions) *Resul
 	opt.putScratch(sc)
 	res.Table = s.Table()
 	res.Runtime = time.Since(start)
-	return res
+	return res, err
 }
 
 // scoreChunk is the fixed candidate-chunk size of the scoring pass. It
@@ -153,12 +177,22 @@ const scoreChunk = 256
 // and their outputs concatenated in chunk order — i.e. candidate index
 // order, exactly what the serial path appends directly; the caller's
 // subsequent sort imposes a total order on top.
-func scoreCandidates(rt *pool.Runtime, s *State, cands []Candidate, dst []scoredRule, workers int) []scoredRule {
+func scoreCandidates(ctx context.Context, rt *pool.Runtime, s *State, cands []Candidate, dst []scoredRule, workers int) ([]scoredRule, error) {
 	tasks := (len(cands) + scoreChunk - 1) / scoreChunk
 	if pool.Size(workers, tasks) <= 1 {
-		return scoreRange(s, cands, 0, len(cands), dst)
+		// The serial pass probes ctx at the same chunk granularity the
+		// parallel path gets from its task boundaries, so cancellation
+		// latency does not depend on the worker count. Chunked scoring
+		// appends exactly what one pass would.
+		for lo := 0; lo < len(cands); lo += scoreChunk {
+			if err := ctx.Err(); err != nil {
+				return dst, err
+			}
+			dst = scoreRange(s, cands, lo, min(lo+scoreChunk, len(cands)), dst)
+		}
+		return dst, nil
 	}
-	return pool.MapChunksIntoOn(rt, dst, workers, len(cands), scoreChunk, func(lo, hi int) []scoredRule {
+	return pool.MapChunksIntoCtxOn(rt, ctx, dst, workers, len(cands), scoreChunk, func(lo, hi int) []scoredRule {
 		return scoreRange(s, cands, lo, hi, nil)
 	})
 }
@@ -175,8 +209,8 @@ func scoreCandidates(rt *pool.Runtime, s *State, cands []Candidate, dst []scored
 // the walk as at the start of the round, so the gain computed here is
 // bit-identical to the one the serial loop would compute mid-round.
 // Rules that fail the filter never have their gain consulted.
-func recheckGains(rt *pool.Runtime, s *State, cands []Candidate, scored []scoredRule, dst []float64, workers int) []float64 {
-	return pool.MapOrderedIntoOn(rt, dst, workers, len(scored), func(i int) float64 {
+func recheckGains(ctx context.Context, rt *pool.Runtime, s *State, cands []Candidate, scored []scoredRule, dst []float64, workers int) ([]float64, error) {
+	return pool.MapOrderedIntoCtxOn(rt, ctx, dst, workers, len(scored), func(i int) float64 {
 		c := &cands[scored[i].cand]
 		return s.GainWithTids(scored[i].rule, c.TidX, c.TidY)
 	})

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // A whole mining session on one private Session must produce the same
 // results as the shared default runtime, for any worker count, and the
@@ -8,19 +11,19 @@ import "testing"
 // back-to-back (many phases on the same parked workers).
 func TestSessionEndToEnd(t *testing.T) {
 	d := plantedDataset(t, 31)
-	ref, err := MineCandidates(d, 1, 0, Parallel(1))
+	ref, err := MineCandidates(context.Background(), d, 1, 0, Parallel(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	refSel := MineSelect(d, ref, SelectOptions{K: 25, ParallelOptions: Parallel(1)})
-	refGr := MineGreedy(d, ref, GreedyOptions{ParallelOptions: Parallel(1)})
-	refEx := MineExact(d, ExactOptions{MaxRules: 3, ParallelOptions: Parallel(1)})
+	refSel := mustSelect(t, d, ref, SelectOptions{K: 25, ParallelOptions: Parallel(1)})
+	refGr := mustGreedy(t, d, ref, GreedyOptions{ParallelOptions: Parallel(1)})
+	refEx := mustExact(t, d, ExactOptions{MaxRules: 3, ParallelOptions: Parallel(1)})
 
 	for _, workers := range []int{1, 2, 4, 7} {
 		sess := NewSession()
 		par := ParallelOptions{Workers: workers, Session: sess}
 
-		cands, err := MineCandidates(d, 1, 0, par)
+		cands, err := MineCandidates(context.Background(), d, 1, 0, par)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -35,9 +38,9 @@ func TestSessionEndToEnd(t *testing.T) {
 			}
 		}
 
-		sel := MineSelect(d, cands, SelectOptions{K: 25, ParallelOptions: par})
-		gr := MineGreedy(d, cands, GreedyOptions{ParallelOptions: par})
-		ex := MineExact(d, ExactOptions{MaxRules: 3, ParallelOptions: par})
+		sel := mustSelect(t, d, cands, SelectOptions{K: 25, ParallelOptions: par})
+		gr := mustGreedy(t, d, cands, GreedyOptions{ParallelOptions: par})
+		ex := mustExact(t, d, ExactOptions{MaxRules: 3, ParallelOptions: par})
 		sess.Close()
 
 		for _, cmp := range []struct {
@@ -76,14 +79,14 @@ func TestSessionNil(t *testing.T) {
 // for any value, including sub-minimum and giant windows.
 func TestMineGreedyBlockSizes(t *testing.T) {
 	d := plantedDataset(t, 35)
-	cands, err := MineCandidates(d, 1, 0, ParallelOptions{})
+	cands, err := MineCandidates(context.Background(), d, 1, 0, ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := MineGreedy(d, cands, GreedyOptions{ParallelOptions: Parallel(1)})
+	ref := mustGreedy(t, d, cands, GreedyOptions{ParallelOptions: Parallel(1)})
 	for _, bs := range []int{1, 4, 8, 64, 512, 1 << 20} {
 		for _, workers := range []int{1, 4} {
-			got := MineGreedy(d, cands, GreedyOptions{BlockSize: bs, ParallelOptions: Parallel(workers)})
+			got := mustGreedy(t, d, cands, GreedyOptions{BlockSize: bs, ParallelOptions: Parallel(workers)})
 			if got.Table.Size() != ref.Table.Size() {
 				t.Fatalf("block=%d workers=%d: %d rules, want %d",
 					bs, workers, got.Table.Size(), ref.Table.Size())

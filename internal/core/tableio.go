@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -177,8 +178,24 @@ type ApplyReport struct {
 
 // Apply translates view `from` of d with t and reports the correction
 // statistics; Reconstruct-style losslessness is implied by construction
-// (tests assert it).
-func Apply(d *dataset.Dataset, t *Table, from dataset.View) ApplyReport {
+// (tests assert it). It is a thin wrapper over the compiled serving
+// path — compile once, apply once; callers applying the same table many
+// times should CompileTranslator themselves and amortize the
+// preparation. Cancelling ctx aborts between rows with ctx.Err(). The
+// report is bit-identical to the reference (Translate +
+// CorrectionTables) computation, which tests cross-check.
+func Apply(ctx context.Context, d *dataset.Dataset, t *Table, from dataset.View) (ApplyReport, error) {
+	tr, err := CompileTranslator(d, t)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return tr.Apply(ctx, d, from)
+}
+
+// applyReference is the uncompiled Apply: the reference Translate /
+// CorrectionTables walk. Tests assert the compiled path reproduces it
+// bit-for-bit.
+func applyReference(d *dataset.Dataset, t *Table, from dataset.View) ApplyReport {
 	target := from.Opposite()
 	trans := Translate(d, t, from)
 	u, e := CorrectionTables(d, t, from)

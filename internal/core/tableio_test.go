@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -89,15 +91,81 @@ D <- Q
 func TestReadTableErrors(t *testing.T) {
 	d := fig1(t)
 	for name, in := range map[string]string{
-		"no direction":  "A, B\n",
-		"unknown left":  "Z -> S\n",
-		"unknown right": "A -> Z\n",
-		"empty left":    " -> S\n",
-		"empty right":   "A -> \n",
+		"no direction":         "A, B\n",
+		"unknown left":         "Z -> S\n",
+		"unknown right":        "A -> Z\n",
+		"empty left":           " -> S\n",
+		"empty right":          "A -> \n",
+		"reversed glyph":       "A >- S\n",
+		"doubled glyph":        "A ->> S\n", // parses as ->, then "> S" is unknown
+		"spaced glyph":         "A - > S\n",
+		"wrong-case name":      "a -> S\n",
+		"direction only":       "->\n",
+		"swapped views":        "K -> A\n", // right-view name on the left side
+		"truncated mid-rule":   "A, B <-> L, U\nC -",
+		"truncated mid-name":   "A, B <-> L, U\nC -> SOMETHINGLON",
+		"binary junk":          "\x00\x01\x02 -> S\n",
+		"comma only left side": ", -> S\n",
 	} {
 		if _, err := ReadTable(strings.NewReader(in), d); err == nil {
 			t.Errorf("%s: no error for %q", name, in)
 		}
+	}
+}
+
+// Error messages must carry the offending line number so stored tables
+// can be fixed by hand.
+func TestReadTableErrorLineNumbers(t *testing.T) {
+	d := fig1(t)
+	in := "# header comment\nA -> S\n\nZ -> S\n"
+	_, err := ReadTable(strings.NewReader(in), d)
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error does not name line 4: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"Z"`) {
+		t.Fatalf("error does not name the unknown item: %v", err)
+	}
+}
+
+// errReader fails after yielding its prefix, like a truncated or broken
+// stream; the reader error must propagate out of ReadTable.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestReadTableReaderError(t *testing.T) {
+	d := fig1(t)
+	broken := errors.New("disk gone")
+	// The prefix ends on a complete line: the parse succeeds up to the
+	// cut and the stream error itself must surface.
+	_, err := ReadTable(&errReader{data: []byte("A -> S\n"), err: broken}, d)
+	if !errors.Is(err, broken) {
+		t.Fatalf("reader error not propagated: %v", err)
+	}
+	// A truncated final line (no trailing newline, stream broken) still
+	// errors — as a parse failure of the partial line.
+	if _, err := ReadTable(&errReader{data: []byte("A -> S\nB -> "), err: broken}, d); err == nil {
+		t.Fatal("truncated final line accepted")
+	}
+}
+
+// A line longer than the scanner's 4 MiB ceiling is an error, not an
+// OOM or a silent truncation.
+func TestReadTableOverlongLine(t *testing.T) {
+	d := fig1(t)
+	long := "A -> S, " + strings.Repeat("S, ", 1<<21) + "S\n"
+	if _, err := ReadTable(strings.NewReader(long), d); err == nil {
+		t.Fatal("overlong line accepted")
 	}
 }
 
@@ -139,7 +207,10 @@ func TestApplyReport(t *testing.T) {
 	tab := &Table{Rules: []Rule{
 		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)},
 	}}
-	rep := Apply(d, tab, dataset.Left)
+	rep, err := Apply(context.Background(), d, tab, dataset.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.From != dataset.Left {
 		t.Fatal("From wrong")
 	}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/bits"
+	"slices"
+	"sync"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+)
+
+// This file implements the compiled serving layer: a Translator is a
+// translation table prepared once against a dataset's vocabularies so
+// that the per-row cost of "mine once, Apply many" serving is a few
+// posting-list walks and word-level set operations instead of a full
+// rule scan with per-item subset probes.
+//
+// Compilation builds, per translation direction, an item-indexed
+// posting list (post[i] = the rules whose antecedent contains item i)
+// plus per-rule LHS/RHS bit masks. A row is translated with the
+// counting subset matcher: walking the postings of the row's items
+// increments one counter per touched rule, and a rule fires exactly
+// when its counter reaches its antecedent size — each rule is examined
+// proportionally to its overlap with the row, so rules whose antecedent
+// shares nothing with the row cost nothing. The LHS masks additionally
+// power MatchingRules, the word-level per-rule subset test used for
+// serving-side introspection.
+
+// Corrections is the per-transaction correction pair of the lossless
+// translation scheme (§3 of the paper): for a translated row t′ and
+// the true target-view row t, Uncovered = t \ t′ (the U table) and
+// Errors = t′ \ t (the E table). t is reconstructed losslessly as
+// t′ ⊕ (U ∪ E).
+type Corrections struct {
+	Uncovered []int
+	Errors    []int
+}
+
+// Translator is a translation table compiled against a dataset's
+// vocabularies for repeated application — the serving-side artifact of
+// "mine once, Apply many". Compile it once with CompileTranslator and
+// share it freely: a Translator is immutable after compilation and all
+// its methods are safe for concurrent use by any number of goroutines
+// (per-call scratch is pooled internally), so one instance can serve
+// every request thread of a process.
+type Translator struct {
+	names   [2][]string // vocabularies captured at compile time, by view
+	items   [2]int      // vocabulary sizes, by view
+	dirs    [2]compiledDir
+	nRules  int // rules in the source table
+	scratch sync.Pool
+}
+
+// compiledDir is the compiled program for one translation direction,
+// indexed by the from-view.
+type compiledDir struct {
+	rules []compiledRule
+	post  [][]int32 // post[fromItem] = indices into rules
+}
+
+// compiledRule is one rule prepared for the counting matcher.
+type compiledRule struct {
+	lhs      *bitset.Set // antecedent mask over the from vocabulary
+	rhs      *bitset.Set // consequent mask over the target vocabulary
+	lhsLen   int32       // |antecedent|: the counter value at which the rule fires
+	tableIdx int32       // index of the rule in the source table
+}
+
+// translatorScratch is the per-call working set: one rule-hit counter
+// slice (shared by both directions; sized to the larger), one
+// translation accumulator per target view, and one id-built row per
+// from view (for the TranslateIDs entry).
+type translatorScratch struct {
+	counts []int32
+	out    [2]*bitset.Set // indexed by the *target* view
+	row    [2]*bitset.Set // indexed by the *from* view
+}
+
+// CompileTranslator compiles t against d's vocabularies. The table is
+// validated first (itemsets canonical and within the vocabularies);
+// compilation is O(Σ |rule|) and the result references only its own
+// storage, so d and t may be mutated or discarded afterwards.
+func CompileTranslator(d *dataset.Dataset, t *Table) (*Translator, error) {
+	if err := t.Validate(d); err != nil {
+		return nil, fmt.Errorf("core: cannot compile translator: %w", err)
+	}
+	tr := &Translator{nRules: t.Size()}
+	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+		tr.names[v] = slices.Clone(d.Names(v))
+		tr.items[v] = d.Items(v)
+	}
+	for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+		cd := &tr.dirs[from]
+		nFrom, nTo := tr.items[from], tr.items[from.Opposite()]
+		cd.post = make([][]int32, nFrom)
+		for ti, r := range t.Rules {
+			if !r.AppliesTo(from) {
+				continue
+			}
+			ante, cons := r.Antecedent(from), r.Consequent(from)
+			idx := int32(len(cd.rules))
+			cd.rules = append(cd.rules, compiledRule{
+				lhs:      bitset.FromIndices(nFrom, ante),
+				rhs:      bitset.FromIndices(nTo, cons),
+				lhsLen:   int32(len(ante)),
+				tableIdx: int32(ti),
+			})
+			for _, i := range ante {
+				cd.post[i] = append(cd.post[i], idx)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// Items returns the compiled vocabulary size of view v.
+func (tr *Translator) Items(v dataset.View) int { return tr.items[v] }
+
+// Rules returns the number of rules in the compiled table.
+func (tr *Translator) Rules() int { return tr.nRules }
+
+func (tr *Translator) getScratch() *translatorScratch {
+	sc, _ := tr.scratch.Get().(*translatorScratch)
+	if sc == nil {
+		n := max(len(tr.dirs[0].rules), len(tr.dirs[1].rules))
+		sc = &translatorScratch{counts: make([]int32, n)}
+		sc.out[dataset.Left] = bitset.New(tr.items[dataset.Left])
+		sc.out[dataset.Right] = bitset.New(tr.items[dataset.Right])
+		sc.row[dataset.Left] = bitset.New(tr.items[dataset.Left])
+		sc.row[dataset.Right] = bitset.New(tr.items[dataset.Right])
+	}
+	return sc
+}
+
+func (tr *Translator) putScratch(sc *translatorScratch) { tr.scratch.Put(sc) }
+
+// checkRow panics when row's width does not match the compiled from
+// vocabulary — the same misuse TranslateRow would surface as an opaque
+// range panic deep in a bit operation.
+func (tr *Translator) checkRow(from dataset.View, row *bitset.Set) {
+	if row.Len() != tr.items[from] {
+		panic(fmt.Sprintf("core: Translator: row has %d items, compiled %v vocabulary has %d",
+			row.Len(), from, tr.items[from]))
+	}
+}
+
+// translateInto writes the translation t′ of row into out using the
+// counting matcher. counts must hold at least len(cd.rules) entries;
+// only the prefix is cleared.
+func (cd *compiledDir) translateInto(out *bitset.Set, row *bitset.Set, counts []int32) {
+	out.Clear()
+	counts = counts[:len(cd.rules)]
+	clear(counts)
+	for wi, w := range row.Words() {
+		base := wi * bitset.WordBits
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, ri := range cd.post[i] {
+				if counts[ri]++; counts[ri] == cd.rules[ri].lhsLen {
+					out.Or(cd.rules[ri].rhs)
+				}
+			}
+		}
+	}
+}
+
+// Translate translates one from-view row through the compiled table and
+// returns the translated target-view item ids in ascending order — the
+// t′ of Algorithm 1, bit-identical to the reference TranslateRow. Safe
+// for concurrent use.
+func (tr *Translator) Translate(from dataset.View, row *bitset.Set) []int {
+	return tr.TranslateInto(nil, from, row)
+}
+
+// TranslateInto is Translate appending into dst, for callers that
+// recycle the id buffer across rows.
+func (tr *Translator) TranslateInto(dst []int, from dataset.View, row *bitset.Set) []int {
+	tr.checkRow(from, row)
+	sc := tr.getScratch()
+	out := sc.out[from.Opposite()]
+	tr.dirs[from].translateInto(out, row, sc.counts)
+	dst = out.AppendIndices(dst)
+	tr.putScratch(sc)
+	return dst
+}
+
+// NewRow builds a from-view row for the per-row serving methods from
+// item ids, validated against the compiled vocabulary. Use it when
+// fresh traffic arrives as ids and the caller wants to reuse one row
+// across requests (refill it via Dataset-independent code); for the
+// one-shot form see TranslateIDs.
+func (tr *Translator) NewRow(from dataset.View, ids []int) (*bitset.Set, error) {
+	row := bitset.New(tr.items[from])
+	if err := fillRow(row, ids); err != nil {
+		return nil, fmt.Errorf("core: %v row: %w", from, err)
+	}
+	return row, nil
+}
+
+// TranslateIDs translates one from-view transaction given directly as
+// item ids — the serving entry for fresh traffic that arrives as ids
+// rather than prebuilt rows. The translated target-view ids are
+// appended to dst in ascending order. Out-of-vocabulary ids error.
+// Safe for concurrent use; steady-state calls allocate nothing beyond
+// dst's growth.
+func (tr *Translator) TranslateIDs(dst []int, from dataset.View, ids []int) ([]int, error) {
+	sc := tr.getScratch()
+	defer tr.putScratch(sc)
+	row := sc.row[from]
+	if err := fillRow(row, ids); err != nil {
+		return dst, fmt.Errorf("core: %v row: %w", from, err)
+	}
+	out := sc.out[from.Opposite()]
+	tr.dirs[from].translateInto(out, row, sc.counts)
+	return out.AppendIndices(dst), nil
+}
+
+// TranslateCorrect translates row and derives the corrections against
+// truth, the actual target-view row: Uncovered = truth \ t′ and
+// Errors = t′ \ truth. Together with the returned translation the
+// caller can reconstruct truth losslessly (t = t′ ⊕ (U ∪ E)). Safe for
+// concurrent use.
+func (tr *Translator) TranslateCorrect(from dataset.View, row, truth *bitset.Set) ([]int, Corrections) {
+	tr.checkRow(from, row)
+	target := from.Opposite()
+	if truth.Len() != tr.items[target] {
+		panic(fmt.Sprintf("core: Translator: truth has %d items, compiled %v vocabulary has %d",
+			truth.Len(), target, tr.items[target]))
+	}
+	sc := tr.getScratch()
+	out := sc.out[target]
+	tr.dirs[from].translateInto(out, row, sc.counts)
+	trans := out.AppendIndices(nil)
+	var c Corrections
+	truth.ForEach(func(i int) bool {
+		if !out.Contains(i) {
+			c.Uncovered = append(c.Uncovered, i)
+		}
+		return true
+	})
+	out.ForEach(func(i int) bool {
+		if !truth.Contains(i) {
+			c.Errors = append(c.Errors, i)
+		}
+		return true
+	})
+	tr.putScratch(sc)
+	return trans, c
+}
+
+// MatchingRules returns the table indices (in table order) of the rules
+// that fire on the given from-view row — the serving-side introspection
+// hook ("why was this item produced?"). It runs the word-level LHS-mask
+// subset test per applicable rule. Safe for concurrent use.
+func (tr *Translator) MatchingRules(from dataset.View, row *bitset.Set) []int {
+	tr.checkRow(from, row)
+	var out []int
+	for i := range tr.dirs[from].rules {
+		cr := &tr.dirs[from].rules[i]
+		if cr.lhs.SubsetOf(row) {
+			out = append(out, int(cr.tableIdx))
+		}
+	}
+	return out
+}
+
+// translateCtxProbe bounds the cancellation latency of the batch and
+// stream paths: one ctx.Err() probe every 256 rows.
+const translateCtxProbe = 256 - 1
+
+// TranslateBatch translates every row of view from of d, returning one
+// ascending id slice per transaction (t′ for the whole view, the
+// serving-side counterpart of the reference Translate). Cancelling ctx
+// aborts between rows with ctx.Err(). Safe for concurrent use; for
+// parallel serving, shard the transactions across goroutines and call
+// it per shard.
+func (tr *Translator) TranslateBatch(ctx context.Context, d *dataset.Dataset, from dataset.View) ([][]int, error) {
+	if err := tr.compatible(d); err != nil {
+		return nil, err
+	}
+	sc := tr.getScratch()
+	defer tr.putScratch(sc)
+	cd := &tr.dirs[from]
+	out := sc.out[from.Opposite()]
+	res := make([][]int, d.Size())
+	// One amortized arena backs every row's ids: growth reallocations
+	// leave already-sliced rows pointing at the previous backing array,
+	// which stays valid — so the batch does O(log n) allocations instead
+	// of one per row.
+	arena := make([]int, 0, d.Size()*2)
+	for t := 0; t < d.Size(); t++ {
+		if t&translateCtxProbe == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		cd.translateInto(out, d.Row(from, t), sc.counts)
+		start := len(arena)
+		arena = out.AppendIndices(arena)
+		res[t] = arena[start:len(arena):len(arena)]
+	}
+	return res, nil
+}
+
+// Apply applies the compiled table to every transaction of d and
+// reports the translation and correction statistics — the serving-path
+// equivalent of the package-level Apply, reproducing its report
+// bit-for-bit without materializing per-row translation or correction
+// sets. d may be any dataset over vocabularies of the compiled sizes
+// (the mined dataset, a holdout split, fresh traffic). Cancelling ctx
+// aborts between rows with ctx.Err(). Safe for concurrent use.
+func (tr *Translator) Apply(ctx context.Context, d *dataset.Dataset, from dataset.View) (ApplyReport, error) {
+	if err := tr.compatible(d); err != nil {
+		return ApplyReport{}, err
+	}
+	target := from.Opposite()
+	rep := ApplyReport{From: from, Cells: d.Size() * d.Items(target)}
+	sc := tr.getScratch()
+	defer tr.putScratch(sc)
+	cd := &tr.dirs[from]
+	out := sc.out[target]
+	for t := 0; t < d.Size(); t++ {
+		if t&translateCtxProbe == 0 {
+			if err := ctx.Err(); err != nil {
+				return ApplyReport{}, err
+			}
+		}
+		cd.translateInto(out, d.Row(from, t), sc.counts)
+		truth := d.Row(target, t)
+		rep.TranslatedOnes += out.Count()
+		rep.Uncovered += bitset.AndNotCount(truth, out) // |t \ t′| = |U_t|
+		rep.Errors += bitset.AndNotCount(out, truth)    // |t′ \ t| = |E_t|
+	}
+	return rep, nil
+}
+
+// ApplyStream is Apply over the text dataset format read incrementally:
+// transactions are translated and scored as they are parsed, so
+// datasets far larger than memory stream through in one pass. The
+// stream's L/R vocabularies must match the compiled ones exactly (names
+// and order). Cancelling ctx aborts between rows with ctx.Err(). Safe
+// for concurrent use.
+func (tr *Translator) ApplyStream(ctx context.Context, r io.Reader, from dataset.View) (ApplyReport, error) {
+	rr := dataset.NewRowReader(r)
+	namesL, namesR, err := rr.Header()
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	if !slices.Equal(namesL, tr.names[dataset.Left]) || !slices.Equal(namesR, tr.names[dataset.Right]) {
+		return ApplyReport{}, fmt.Errorf("core: stream vocabularies do not match the compiled translator")
+	}
+	target := from.Opposite()
+	sc := tr.getScratch()
+	defer tr.putScratch(sc)
+	cd := &tr.dirs[from]
+	out := sc.out[target]
+	rowF := bitset.New(tr.items[from])
+	rowT := bitset.New(tr.items[target])
+	rep := ApplyReport{From: from}
+	for n := 0; ; n++ {
+		if n&translateCtxProbe == 0 {
+			if err := ctx.Err(); err != nil {
+				return ApplyReport{}, err
+			}
+		}
+		left, right, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ApplyReport{}, err
+		}
+		src, dst := left, right
+		if from == dataset.Right {
+			src, dst = right, left
+		}
+		if err := fillRow(rowF, src); err != nil {
+			return ApplyReport{}, fmt.Errorf("core: line %d: %w", rr.Line(), err)
+		}
+		if err := fillRow(rowT, dst); err != nil {
+			return ApplyReport{}, fmt.Errorf("core: line %d: %w", rr.Line(), err)
+		}
+		cd.translateInto(out, rowF, sc.counts)
+		rep.TranslatedOnes += out.Count()
+		rep.Uncovered += bitset.AndNotCount(rowT, out)
+		rep.Errors += bitset.AndNotCount(out, rowT)
+		rep.Cells += tr.items[target]
+	}
+	return rep, nil
+}
+
+// compatible checks that d's vocabulary sizes match the compiled ones;
+// translation is id-based, so sizes (not names) are the hard contract.
+func (tr *Translator) compatible(d *dataset.Dataset) error {
+	for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+		if d.Items(v) != tr.items[v] {
+			return fmt.Errorf("core: dataset has %d %v items, compiled translator has %d",
+				d.Items(v), v, tr.items[v])
+		}
+	}
+	return nil
+}
+
+// fillRow loads sorted-or-not item ids into a cleared row bitset,
+// range-checking each id against the row's width. Callers add their
+// own context (stream line, view) when wrapping the error.
+func fillRow(row *bitset.Set, ids []int) error {
+	row.Clear()
+	for _, id := range ids {
+		if id < 0 || id >= row.Len() {
+			return fmt.Errorf("item %d out of range [0,%d)", id, row.Len())
+		}
+		row.Add(id)
+	}
+	return nil
+}

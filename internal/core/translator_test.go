@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+// minedTable mines a table from the planted dataset with the given
+// miner, for serving-path fixtures built on real mined models.
+func minedTables(t testing.TB, d *dataset.Dataset) map[string]*Table {
+	t.Helper()
+	cands := mustCandidates(t, d, 1, 0, Parallel(1))
+	return map[string]*Table{
+		"exact":  mustExact(t, d, ExactOptions{}).Table,
+		"select": mustSelect(t, d, cands, SelectOptions{K: 25}).Table,
+		"greedy": mustGreedy(t, d, cands, GreedyOptions{}).Table,
+	}
+}
+
+// The compiled single-row translation must be bit-identical to the
+// reference TranslateRow, for random datasets and tables, in both
+// directions.
+func TestQuickTranslatorMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, tab := randomDataAndTable(r)
+		tr, err := CompileTranslator(d, tab)
+		if err != nil {
+			return false
+		}
+		for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+			for ti := 0; ti < d.Size(); ti++ {
+				row := d.Row(from, ti)
+				want := TranslateRow(d, tab, from, row).Indices()
+				got := tr.Translate(from, row)
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The compiled Apply must reproduce the reference (uncompiled) report
+// bit for bit on tables mined by all three miners from the planted
+// dataset, and the package-level Apply is exactly that compiled path.
+func TestTranslatorApplyMatchesReference(t *testing.T) {
+	d := plantedDataset(t, 61)
+	for name, tab := range minedTables(t, d) {
+		tr, err := CompileTranslator(d, tab)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+			want := applyReference(d, tab, from)
+			got, err := tr.Apply(context.Background(), d, from)
+			if err != nil {
+				t.Fatalf("%s from %v: %v", name, from, err)
+			}
+			if got != want {
+				t.Fatalf("%s from %v: compiled report %+v, reference %+v", name, from, got, want)
+			}
+			viaApply, err := Apply(context.Background(), d, tab, from)
+			if err != nil {
+				t.Fatalf("%s from %v: Apply: %v", name, from, err)
+			}
+			if viaApply != want {
+				t.Fatalf("%s from %v: Apply wrapper %+v, reference %+v", name, from, viaApply, want)
+			}
+		}
+	}
+}
+
+// TranslateCorrect must agree with the reference correction tables, and
+// the reconstruction identity t = t′ ⊕ (U ∪ E) must hold per row.
+func TestTranslatorCorrections(t *testing.T) {
+	d := plantedDataset(t, 62)
+	tab := minedTables(t, d)["select"]
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+		u, e := CorrectionTables(d, tab, from)
+		target := from.Opposite()
+		for ti := 0; ti < d.Size(); ti++ {
+			trans, c := tr.TranslateCorrect(from, d.Row(from, ti), d.Row(target, ti))
+			if !equalInts(c.Uncovered, u[ti].Indices()) || !equalInts(c.Errors, e[ti].Indices()) {
+				t.Fatalf("from %v t%d: corrections (%v, %v) differ from reference (%v, %v)",
+					from, ti, c.Uncovered, c.Errors, u[ti].Indices(), e[ti].Indices())
+			}
+			// Reconstruction: t′ ⊕ (U ∪ E) = t.
+			rec := map[int]bool{}
+			for _, i := range trans {
+				rec[i] = true
+			}
+			for _, i := range c.Uncovered {
+				rec[i] = !rec[i]
+			}
+			for _, i := range c.Errors {
+				rec[i] = !rec[i]
+			}
+			truth := d.Row(target, ti)
+			for i := 0; i < d.Items(target); i++ {
+				if rec[i] != truth.Contains(i) {
+					t.Fatalf("from %v t%d: reconstruction differs at item %d", from, ti, i)
+				}
+			}
+		}
+	}
+}
+
+// MatchingRules must return exactly the firing rules, in table order.
+func TestTranslatorMatchingRules(t *testing.T) {
+	d := fig1(t)
+	tab := &Table{Rules: []Rule{
+		{X: itemset.New(0, 1), Dir: Both, Y: itemset.New(1, 5)}, // {A,B} <-> {L,U}
+		{X: itemset.New(2), Dir: Forward, Y: itemset.New(4)},    // {C} -> {S}
+		{X: itemset.New(3), Dir: Backward, Y: itemset.New(3)},   // {D} <- {Q}
+	}}
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 = {A,B}: rule 0 fires from the left; rule 2 is <- (not
+	// applicable from the left); rule 1 needs C.
+	if got := tr.MatchingRules(dataset.Left, d.Row(dataset.Left, 0)); !equalInts(got, []int{0}) {
+		t.Fatalf("MatchingRules(L, row0) = %v, want [0]", got)
+	}
+	// Row 1 = {B,C}: only rule 1 fires.
+	if got := tr.MatchingRules(dataset.Left, d.Row(dataset.Left, 1)); !equalInts(got, []int{1}) {
+		t.Fatalf("MatchingRules(L, row1) = %v, want [1]", got)
+	}
+	// From the right, row 3 = {L,Q,U}: rule 0 (<->, {L,U} ⊆ row) and
+	// rule 2 (<-, {Q} ⊆ row).
+	if got := tr.MatchingRules(dataset.Right, d.Row(dataset.Right, 3)); !equalInts(got, []int{0, 2}) {
+		t.Fatalf("MatchingRules(R, row3) = %v, want [0 2]", got)
+	}
+}
+
+// TranslateBatch must equal per-row Translate and honour cancellation.
+func TestTranslatorBatch(t *testing.T) {
+	d := plantedDataset(t, 63)
+	tab := minedTables(t, d)["greedy"]
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := tr.TranslateBatch(context.Background(), d, dataset.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != d.Size() {
+		t.Fatalf("batch has %d rows, dataset %d", len(batch), d.Size())
+	}
+	for ti := range batch {
+		if want := tr.Translate(dataset.Left, d.Row(dataset.Left, ti)); !equalInts(batch[ti], want) {
+			t.Fatalf("batch row %d = %v, per-row %v", ti, batch[ti], want)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.TranslateBatch(ctx, d, dataset.Left); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: err = %v", err)
+	}
+}
+
+// One Translator instance must serve many goroutines concurrently and
+// agree with the serial answers (run under -race in CI).
+func TestTranslatorConcurrent(t *testing.T) {
+	d := plantedDataset(t, 64)
+	tab := minedTables(t, d)["select"]
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.TranslateBatch(context.Background(), d, dataset.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := 0; ti < d.Size(); ti++ {
+				if got := tr.Translate(dataset.Left, d.Row(dataset.Left, ti)); !equalInts(got, want[ti]) {
+					errs <- errors.New("concurrent translation differs")
+					return
+				}
+				// Exercise the corrections path concurrently too (the
+				// race detector is the assertion here).
+				tr.TranslateCorrect(dataset.Left, d.Row(dataset.Left, ti), d.Row(dataset.Right, ti))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ApplyStream over the serialized dataset must match the in-memory
+// Apply bit for bit; vocabulary mismatches, bad ids and cancellation
+// must error.
+func TestTranslatorApplyStream(t *testing.T) {
+	d := plantedDataset(t, 65)
+	tab := minedTables(t, d)["select"]
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	serialized := buf.String()
+
+	for _, from := range []dataset.View{dataset.Left, dataset.Right} {
+		want, err := tr.Apply(context.Background(), d, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.ApplyStream(context.Background(), strings.NewReader(serialized), from)
+		if err != nil {
+			t.Fatalf("from %v: %v", from, err)
+		}
+		if got != want {
+			t.Fatalf("from %v: stream report %+v, in-memory %+v", from, got, want)
+		}
+	}
+
+	// A stream over different vocabularies must be rejected.
+	other := dataset.MustNew(dataset.GenericNames("x", 6), dataset.GenericNames("r", 6))
+	other.AddRow([]int{0}, []int{0})
+	buf.Reset()
+	if err := dataset.Write(&buf, other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ApplyStream(context.Background(), &buf, dataset.Left); err == nil {
+		t.Fatal("vocabulary mismatch not detected")
+	}
+
+	// Out-of-range ids are reported with their line.
+	bad := "L\tl0\tl1\tl2\tl3\tl4\tl5\nR\tr0\tr1\tr2\tr3\tr4\tr5\n0 99 | 1\n"
+	if _, err := tr.ApplyStream(context.Background(), strings.NewReader(bad), dataset.Left); err == nil || !strings.Contains(err.Error(), "99") {
+		t.Fatalf("bad id not reported: %v", err)
+	}
+
+	// Cancellation aborts the stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.ApplyStream(ctx, strings.NewReader(serialized), dataset.Left); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream: err = %v", err)
+	}
+}
+
+// TranslateIDs and NewRow are the fresh-traffic entries: ids in, ids
+// out, matching the row-based path; out-of-vocabulary ids error.
+func TestTranslatorTranslateIDs(t *testing.T) {
+	d := plantedDataset(t, 66)
+	tab := minedTables(t, d)["select"]
+	tr, err := CompileTranslator(d, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < d.Size(); ti++ {
+		row := d.Row(dataset.Left, ti)
+		want := tr.Translate(dataset.Left, row)
+		got, err := tr.TranslateIDs(nil, dataset.Left, row.Indices())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("t%d: TranslateIDs %v, Translate %v", ti, got, want)
+		}
+		built, err := tr.NewRow(dataset.Left, row.Indices())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(tr.Translate(dataset.Left, built), want) {
+			t.Fatalf("t%d: NewRow-based translation differs", ti)
+		}
+	}
+	if _, err := tr.TranslateIDs(nil, dataset.Left, []int{99}); err == nil || !strings.Contains(err.Error(), "99") {
+		t.Fatalf("out-of-range id not reported: %v", err)
+	}
+	if _, err := tr.NewRow(dataset.Right, []int{-1}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+// Compilation validates the table against the vocabularies.
+func TestCompileTranslatorValidates(t *testing.T) {
+	d := fig1(t)
+	bad := &Table{Rules: []Rule{{X: itemset.New(99), Dir: Forward, Y: itemset.New(0)}}}
+	if _, err := CompileTranslator(d, bad); err == nil {
+		t.Fatal("out-of-vocabulary rule compiled")
+	}
+	empty := &Table{}
+	tr, err := CompileTranslator(d, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Translate(dataset.Left, d.Row(dataset.Left, 0)); len(got) != 0 {
+		t.Fatalf("empty table translated to %v", got)
+	}
+	if tr.Rules() != 0 || tr.Items(dataset.Left) != 5 || tr.Items(dataset.Right) != 6 {
+		t.Fatal("compiled metadata wrong")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -55,61 +55,137 @@ func writeIDs(bw *bufio.Writer, ids []int) {
 	}
 }
 
-// Read parses a dataset in the text format.
+// Read parses a dataset in the text format. It is RowReader run to
+// completion with the rows materialized into a Dataset; callers that
+// must not hold the whole dataset in memory (the serving layer's
+// streaming translation) use RowReader directly.
 func Read(r io.Reader) (*Dataset, error) {
+	rr := NewRowReader(r)
+	namesL, namesR, err := rr.Header()
+	if err != nil {
+		return nil, err
+	}
+	d, err := New(namesL, namesR)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		left, right, err := rr.Next()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddRow(left, right); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", rr.Line(), err)
+		}
+	}
+}
+
+// RowReader streams a dataset in the text format one transaction at a
+// time: the L/R headers first (Header), then one id pair per row (Next).
+// It is the memory-bounded access path under Read, built for consumers
+// — like the Translator's ApplyStream — that process arbitrarily large
+// datasets row by row without materializing them.
+type RowReader struct {
+	sc             *bufio.Scanner
+	namesL, namesR []string
+	line           int
+	headerRead     bool
+	left, right    []int // reused across Next calls
+}
+
+// NewRowReader returns a reader over the text format.
+func NewRowReader(r io.Reader) *RowReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var d *Dataset
-	var namesL, namesR []string
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimRight(sc.Text(), "\r\n")
+	return &RowReader{sc: sc}
+}
+
+// Header consumes the L/R header lines (in either order, skipping
+// comments and blank lines) and returns the two vocabularies. It is
+// idempotent and invoked implicitly by the first Next.
+func (rr *RowReader) Header() (namesL, namesR []string, err error) {
+	if rr.headerRead {
+		return rr.namesL, rr.namesR, nil
+	}
+	for rr.sc.Scan() {
+		rr.line++
+		text := strings.TrimRight(rr.sc.Text(), "\r\n")
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
 		switch {
 		case strings.HasPrefix(text, "L\t") || text == "L":
-			if namesL != nil {
-				return nil, fmt.Errorf("dataset: line %d: duplicate L header", line)
+			if rr.namesL != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: duplicate L header", rr.line)
 			}
-			namesL = splitNames(text)
+			rr.namesL = splitNames(text)
 		case strings.HasPrefix(text, "R\t") || text == "R":
-			if namesR != nil {
-				return nil, fmt.Errorf("dataset: line %d: duplicate R header", line)
+			if rr.namesR != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: duplicate R header", rr.line)
 			}
-			namesR = splitNames(text)
+			rr.namesR = splitNames(text)
 		default:
-			if namesL == nil || namesR == nil {
-				return nil, fmt.Errorf("dataset: line %d: row before L/R headers", line)
-			}
-			if d == nil {
-				var err error
-				if d, err = New(namesL, namesR); err != nil {
-					return nil, err
-				}
-			}
-			left, right, err := parseRow(text)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
-			}
-			if err := d.AddRow(left, right); err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
-			}
+			return nil, nil, fmt.Errorf("dataset: line %d: row before L/R headers", rr.line)
+		}
+		if rr.namesL != nil && rr.namesR != nil {
+			rr.headerRead = true
+			return rr.namesL, rr.namesR, nil
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if err := rr.sc.Err(); err != nil {
+		return nil, nil, err
 	}
-	if namesL == nil || namesR == nil {
-		return nil, fmt.Errorf("dataset: missing L/R headers")
-	}
-	if d == nil {
-		// Headers but zero rows: still a valid (empty) dataset.
-		return New(namesL, namesR)
-	}
-	return d, nil
+	return nil, nil, fmt.Errorf("dataset: missing L/R headers")
 }
+
+// Next returns the item ids of the next transaction. The returned
+// slices are reused by the following Next call; callers that retain
+// them must copy. The end of the stream is signalled with io.EOF. Ids
+// are syntax-checked only — range validation against a vocabulary is
+// the consumer's concern (AddRow in Read, the width check in streaming
+// consumers).
+func (rr *RowReader) Next() (left, right []int, err error) {
+	if !rr.headerRead {
+		if _, _, err := rr.Header(); err != nil {
+			return nil, nil, err
+		}
+	}
+	for rr.sc.Scan() {
+		rr.line++
+		text := strings.TrimRight(rr.sc.Text(), "\r\n")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.HasPrefix(text, "L\t") || text == "L" {
+			return nil, nil, fmt.Errorf("dataset: line %d: duplicate L header", rr.line)
+		}
+		if strings.HasPrefix(text, "R\t") || text == "R" {
+			return nil, nil, fmt.Errorf("dataset: line %d: duplicate R header", rr.line)
+		}
+		parts := strings.SplitN(text, "|", 2)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("dataset: line %d: missing '|' separator in row %q", rr.line, text)
+		}
+		if rr.left, err = parseIDsInto(rr.left[:0], parts[0]); err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: %v", rr.line, err)
+		}
+		if rr.right, err = parseIDsInto(rr.right[:0], parts[1]); err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: %v", rr.line, err)
+		}
+		return rr.left, rr.right, nil
+	}
+	if err := rr.sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return nil, nil, io.EOF
+}
+
+// Line returns the line number of the most recently parsed line, for
+// error reporting by consumers.
+func (rr *RowReader) Line() int { return rr.line }
 
 func splitNames(header string) []string {
 	fields := strings.Split(header, "\t")[1:]
@@ -122,31 +198,15 @@ func splitNames(header string) []string {
 	return out
 }
 
-func parseRow(text string) (left, right []int, err error) {
-	parts := strings.SplitN(text, "|", 2)
-	if len(parts) != 2 {
-		return nil, nil, fmt.Errorf("missing '|' separator in row %q", text)
-	}
-	if left, err = parseIDs(parts[0]); err != nil {
-		return nil, nil, err
-	}
-	if right, err = parseIDs(parts[1]); err != nil {
-		return nil, nil, err
-	}
-	return left, right, nil
-}
-
-func parseIDs(s string) ([]int, error) {
-	fields := strings.Fields(s)
-	out := make([]int, 0, len(fields))
-	for _, f := range fields {
+func parseIDsInto(dst []int, s string) ([]int, error) {
+	for _, f := range strings.Fields(s) {
 		id, err := strconv.Atoi(f)
 		if err != nil {
 			return nil, fmt.Errorf("bad item id %q", f)
 		}
-		out = append(out, id)
+		dst = append(dst, id)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // WriteFile writes d to path in the text format.

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -50,11 +51,14 @@ func TestMaxConfidence(t *testing.T) {
 
 func TestEvaluateMatchesFromResult(t *testing.T) {
 	d := sampleData(t)
-	cands, err := core.MineCandidates(d, 1, 0, core.ParallelOptions{})
+	cands, err := core.MineCandidates(context.Background(), d, 1, 0, core.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1})
+	res, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := FromResult(d, res)
 	b := Evaluate(d, mdl.NewCoder(d), res.Table)
 	if a.NumRules != b.NumRules || math.Abs(a.LPct-b.LPct) > 1e-9 ||
@@ -145,7 +149,7 @@ func TestWriteDot(t *testing.T) {
 
 func TestRunTable1Smoke(t *testing.T) {
 	var b strings.Builder
-	if err := RunTable1(&b, 0.02); err != nil {
+	if err := RunTable1(context.Background(), &b, 0.02); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"abalone", "elections", "L(D,∅)"} {
@@ -167,7 +171,7 @@ func TestRunTable2SmallSmoke(t *testing.T) {
 		mustProfile("car"), mustProfile("tictactoe"), mustProfile("yeast"),
 	}
 	var b strings.Builder
-	rows, err := RunTable2(&b, 0.05, true, light...)
+	rows, err := RunTable2(context.Background(), &b, 0.05, true, light...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +195,7 @@ func TestRunTable2LargeSmoke(t *testing.T) {
 		t.Skip("full Table 2 (large) reproduction")
 	}
 	var b strings.Builder
-	rows, err := RunTable2(&b, 0.02, false)
+	rows, err := RunTable2(context.Background(), &b, 0.02, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +218,7 @@ func TestRunTable3Smoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	rows, err := RunTable3(&b, 0.2, []synth.Profile{p})
+	rows, err := RunTable3(context.Background(), &b, 0.2, []synth.Profile{p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +249,7 @@ func TestRunFig2Smoke(t *testing.T) {
 		t.Skip("Fig. 2 reproduction")
 	}
 	var b strings.Builder
-	iters, err := RunFig2(&b, 0.3)
+	iters, err := RunFig2(context.Background(), &b, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +272,7 @@ func TestRunFig2Smoke(t *testing.T) {
 
 func TestRunFig3Smoke(t *testing.T) {
 	var b strings.Builder
-	if err := RunFig3(&b, 0.1); err != nil {
+	if err := RunFig3(context.Background(), &b, 0.1); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -282,7 +286,7 @@ func TestRunExampleRulesSmoke(t *testing.T) {
 		t.Skip("example-rule reproduction")
 	}
 	var b strings.Builder
-	if err := RunExampleRules(&b, "house", 0.3); err != nil {
+	if err := RunExampleRules(context.Background(), &b, "house", 0.3); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -291,17 +295,17 @@ func TestRunExampleRulesSmoke(t *testing.T) {
 			t.Fatalf("missing method %s", m)
 		}
 	}
-	if err := RunExampleRules(&b, "nope", 0.3); err == nil {
+	if err := RunExampleRules(context.Background(), &b, "nope", 0.3); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
 }
 
 func TestRunFig6And7Smoke(t *testing.T) {
 	var b strings.Builder
-	if err := RunFig6(&b, 0.2); err != nil {
+	if err := RunFig6(context.Background(), &b, 0.2); err != nil {
 		t.Fatal(err)
 	}
-	if err := RunFig7(&b, 0.1); err != nil {
+	if err := RunFig7(context.Background(), &b, 0.1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Fig. 7") {
@@ -318,7 +322,7 @@ func TestRunRecoverySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := RunRecovery(&b, 0.2, []synth.Profile{p}); err != nil {
+	if err := RunRecovery(context.Background(), &b, 0.2, []synth.Profile{p}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "car") {
@@ -332,7 +336,7 @@ func TestRunAblationSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := RunAblation(&b, 0.05, 1, []synth.Profile{p}); err != nil {
+	if err := RunAblation(context.Background(), &b, 0.05, 1, []synth.Profile{p}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "no bounds") {
@@ -346,7 +350,7 @@ func TestRunExplosionSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := RunExplosion(&b, 0.1, []synth.Profile{p}); err != nil {
+	if err := RunExplosion(context.Background(), &b, 0.1, []synth.Profile{p}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "pattern explosion") || !strings.Contains(b.String(), "car") {
@@ -356,11 +360,14 @@ func TestRunExplosionSmoke(t *testing.T) {
 
 func TestWriteIterationsCSV(t *testing.T) {
 	d := sampleData(t)
-	cands, err := core.MineCandidates(d, 1, 0, core.ParallelOptions{})
+	cands, err := core.MineCandidates(context.Background(), d, 1, 0, core.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1})
+	res, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var b strings.Builder
 	if err := WriteIterationsCSV(&b, res.Iterations); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -53,15 +54,18 @@ const maxCandidates = 200_000
 // cappedCandidates mines closed two-view candidates, doubling minsup
 // until the candidate set stays below maxCandidates. It returns the
 // candidates and the effective minimum support.
-func cappedCandidates(d *dataset.Dataset, minsup int) ([]core.Candidate, int, error) {
-	return core.MineCandidatesCapped(d, minsup, maxCandidates, par())
+func cappedCandidates(ctx context.Context, d *dataset.Dataset, minsup int) ([]core.Candidate, int, error) {
+	return core.MineCandidatesCapped(ctx, d, minsup, maxCandidates, par())
 }
 
 // RunTable1 regenerates Table 1: dataset properties and uncompressed
 // sizes L(D,∅).
-func RunTable1(w io.Writer, scale float64) error {
+func RunTable1(ctx context.Context, w io.Writer, scale float64) error {
 	t := NewTextTable("Dataset", "|D|", "|I_L|", "|I_R|", "d_L", "d_R", "L(D,∅)")
 	for _, p := range synth.Profiles() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		d, _, err := Gen(p, scale)
 		if err != nil {
 			return err
@@ -94,15 +98,18 @@ type MethodCells struct {
 // runTranslators runs the requested TRANSLATOR variants on one dataset.
 // It returns the method cells and the effective minimum support used for
 // candidate mining.
-func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCells, int, error) {
+func runTranslators(ctx context.Context, d *dataset.Dataset, minsup int, withExact bool) ([]MethodCells, int, error) {
 	var out []MethodCells
 	if withExact {
-		res := core.MineExact(d, core.ExactOptions{ParallelOptions: par()})
+		res, err := core.MineExact(ctx, d, core.ExactOptions{ParallelOptions: par()})
+		if err != nil {
+			return nil, minsup, err
+		}
 		m := FromResult(d, res)
 		out = append(out, MethodCells{"T-EXACT", m.NumRules, m.LPct, m.Runtime})
 	}
 	candStart := time.Now()
-	cands, minsup, err := cappedCandidates(d, minsup)
+	cands, minsup, err := cappedCandidates(ctx, d, minsup)
 	if err != nil {
 		return nil, minsup, err
 	}
@@ -111,11 +118,17 @@ func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCel
 		name string
 		k    int
 	}{{"T-SELECT(1)", 1}, {"T-SELECT(25)", 25}} {
-		res := core.MineSelect(d, cands, core.SelectOptions{K: cfg.k, ParallelOptions: par()})
+		res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: cfg.k, ParallelOptions: par()})
+		if err != nil {
+			return nil, minsup, err
+		}
 		m := FromResult(d, res)
 		out = append(out, MethodCells{cfg.name, m.NumRules, m.LPct, m.Runtime + candTime})
 	}
-	res := core.MineGreedy(d, cands, core.GreedyOptions{ParallelOptions: par()})
+	res, err := core.MineGreedy(ctx, d, cands, core.GreedyOptions{ParallelOptions: par()})
+	if err != nil {
+		return nil, minsup, err
+	}
 	m := FromResult(d, res)
 	out = append(out, MethodCells{"T-GREEDY", m.NumRules, m.LPct, m.Runtime + candTime})
 	return out, minsup, nil
@@ -125,7 +138,7 @@ func runTranslators(d *dataset.Dataset, minsup int, withExact bool) ([]MethodCel
 // small=true runs the top half (with TRANSLATOR-EXACT, minsup 1); false
 // runs the bottom half (per-dataset minsup, no exact search). A nil
 // profile list means the standard small/large group.
-func RunTable2(w io.Writer, scale float64, small bool, profiles ...synth.Profile) ([]Table2Row, error) {
+func RunTable2(ctx context.Context, w io.Writer, scale float64, small bool, profiles ...synth.Profile) ([]Table2Row, error) {
 	if profiles == nil {
 		if small {
 			profiles = synth.SmallProfiles()
@@ -144,7 +157,7 @@ func RunTable2(w io.Writer, scale float64, small bool, profiles ...synth.Profile
 		if err != nil {
 			return nil, err
 		}
-		cells, minsup, err := runTranslators(d, sp.MinSupport, small)
+		cells, minsup, err := runTranslators(ctx, d, sp.MinSupport, small)
 		if err != nil {
 			return nil, err
 		}
@@ -183,12 +196,15 @@ type Table3Row struct {
 // RunTable3 regenerates Table 3: TRANSLATOR-SELECT(1) against the
 // significant-rule, redescription and KRIMP baselines, all scored under
 // the translation encoding.
-func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Row, error) {
+func RunTable3(ctx context.Context, w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Row, error) {
 	if profiles == nil {
 		profiles = synth.Profiles()
 	}
 	var rows []Table3Row
 	for _, p := range profiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp := p
 		if scale > 0 && scale != 1 {
 			sp = p.Scaled(scale)
@@ -201,16 +217,24 @@ func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Ro
 
 		// TRANSLATOR-SELECT(1).
 		start := time.Now()
-		cands, _, err := cappedCandidates(d, sp.MinSupport)
+		cands, _, err := cappedCandidates(ctx, d, sp.MinSupport)
 		if err != nil {
 			return nil, err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+		res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+		if err != nil {
+			return nil, err
+		}
 		m := FromResult(d, res)
 		m.Runtime = time.Since(start)
 		rows = append(rows, Table3Row{p.Name, "TRANSLATOR", m, ""})
 
-		// Significant rule discovery (MAGNUM OPUS substitute).
+		// Significant rule discovery (MAGNUM OPUS substitute). The
+		// baselines are not cancellable internally; the batch observes
+		// ctx between methods.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		sig, err := sigrules.Mine(d, sigrules.Options{MinSupport: sp.MinSupport, Seed: sp.Seed})
 		if err != nil {
@@ -221,6 +245,9 @@ func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Ro
 		rows = append(rows, Table3Row{p.Name, "SIGRULES", m, ""})
 
 		// Redescription mining (REREMI substitute).
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		rds := reremi.Mine(d, reremi.Options{MinSupport: sp.MinSupport})
 		m = Evaluate(d, coder, reremi.ToTable(rds))
@@ -231,6 +258,9 @@ func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Ro
 		// closed itemsets of the joined data (not just two-view ones),
 		// so the same §6.1 explosion protocol applies: double the
 		// support until the candidate set is manageable.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		kminsup := maxI(2, sp.MinSupport)
 		var kres *krimp.Result
@@ -273,7 +303,7 @@ func RunTable3(w io.Writer, scale float64, profiles []synth.Profile) ([]Table3Ro
 
 // RunFig2 regenerates Fig. 2: the evolution of |U|, |E| and the encoded
 // lengths while TRANSLATOR-SELECT(1) builds a table for House.
-func RunFig2(w io.Writer, scale float64) ([]core.IterationStats, error) {
+func RunFig2(ctx context.Context, w io.Writer, scale float64) ([]core.IterationStats, error) {
 	p, err := synth.ProfileByName("house")
 	if err != nil {
 		return nil, err
@@ -282,11 +312,14 @@ func RunFig2(w io.Writer, scale float64) ([]core.IterationStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	cands, _, err := cappedCandidates(d, p.MinSupport)
+	cands, _, err := cappedCandidates(ctx, d, p.MinSupport)
 	if err != nil {
 		return nil, err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+	res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+	if err != nil {
+		return nil, err
+	}
 	t := NewTextTable("iter", "|U_L|", "|U_R|", "|E_L|", "|E_R|",
 		"L(T)", "L(D_L→R|T)", "L(D_L←R|T)", "L(D_L↔R,T)")
 	base := res.State.Baseline()

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -15,13 +16,16 @@ import (
 
 // methodTables mines the three rule sets Fig. 3–6 compare: TRANSLATOR-
 // SELECT(1), significant rules and redescriptions, on one dataset.
-func methodTables(d *dataset.Dataset, minsup int, seed int64) (map[string]*core.Table, error) {
+func methodTables(ctx context.Context, d *dataset.Dataset, minsup int, seed int64) (map[string]*core.Table, error) {
 	out := map[string]*core.Table{}
-	cands, _, err := cappedCandidates(d, minsup)
+	cands, _, err := cappedCandidates(ctx, d, minsup)
 	if err != nil {
 		return nil, err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+	res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+	if err != nil {
+		return nil, err
+	}
 	out["TRANSLATOR"] = res.Table
 	sig, err := sigrules.Mine(d, sigrules.Options{MinSupport: minsup, Seed: seed})
 	if err != nil {
@@ -35,7 +39,7 @@ func methodTables(d *dataset.Dataset, minsup int, seed int64) (map[string]*core.
 // RunFig3 regenerates Fig. 3: DOT visualizations of the rule sets found
 // on CAL500 and House by the three methods. The writer receives one DOT
 // graph per (dataset, method), separated by comment headers.
-func RunFig3(w io.Writer, scale float64) error {
+func RunFig3(ctx context.Context, w io.Writer, scale float64) error {
 	for _, name := range []string{"cal500", "house"} {
 		p, err := synth.ProfileByName(name)
 		if err != nil {
@@ -45,7 +49,7 @@ func RunFig3(w io.Writer, scale float64) error {
 		if err != nil {
 			return err
 		}
-		tables, err := methodTables(d, p.MinSupport, p.Seed)
+		tables, err := methodTables(ctx, d, p.MinSupport, p.Seed)
 		if err != nil {
 			return err
 		}
@@ -62,7 +66,7 @@ func RunFig3(w io.Writer, scale float64) error {
 
 // RunExampleRules regenerates Figs. 4 and 5: the top three rules per
 // method on the named dataset.
-func RunExampleRules(w io.Writer, profile string, scale float64) error {
+func RunExampleRules(ctx context.Context, w io.Writer, profile string, scale float64) error {
 	p, err := synth.ProfileByName(profile)
 	if err != nil {
 		return err
@@ -71,7 +75,7 @@ func RunExampleRules(w io.Writer, profile string, scale float64) error {
 	if err != nil {
 		return err
 	}
-	tables, err := methodTables(d, p.MinSupport, p.Seed)
+	tables, err := methodTables(ctx, d, p.MinSupport, p.Seed)
 	if err != nil {
 		return err
 	}
@@ -94,7 +98,7 @@ func RunExampleRules(w io.Writer, profile string, scale float64) error {
 // (the 'Genre:Rock' analogue) per method on CAL500. The focus item is the
 // most frequent right-hand item of the TRANSLATOR table, which plays the
 // same role as a prominent genre item.
-func RunFig6(w io.Writer, scale float64) error {
+func RunFig6(ctx context.Context, w io.Writer, scale float64) error {
 	p, err := synth.ProfileByName("cal500")
 	if err != nil {
 		return err
@@ -103,7 +107,7 @@ func RunFig6(w io.Writer, scale float64) error {
 	if err != nil {
 		return err
 	}
-	tables, err := methodTables(d, p.MinSupport, p.Seed)
+	tables, err := methodTables(ctx, d, p.MinSupport, p.Seed)
 	if err != nil {
 		return err
 	}
@@ -130,7 +134,7 @@ func RunFig6(w io.Writer, scale float64) error {
 
 // RunFig7 regenerates Fig. 7: example rules from Elections, where only
 // TRANSLATOR output is shown in the paper.
-func RunFig7(w io.Writer, scale float64) error {
+func RunFig7(ctx context.Context, w io.Writer, scale float64) error {
 	p, err := synth.ProfileByName("elections")
 	if err != nil {
 		return err
@@ -139,11 +143,14 @@ func RunFig7(w io.Writer, scale float64) error {
 	if err != nil {
 		return err
 	}
-	cands, _, err := cappedCandidates(d, p.MinSupport)
+	cands, _, err := cappedCandidates(ctx, d, p.MinSupport)
 	if err != nil {
 		return err
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+	res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Fig. 7: example rules mined from Elections with T-SELECT(1)")
 	for _, rs := range TopRules(d, res.Table, 4) {
 		fmt.Fprintf(w, "  %-60s supp=%-5d c+=%.2f\n", rs.Rule.Format(d), rs.Supp, rs.Conf)
@@ -177,7 +184,7 @@ func mostUsedItem(t *core.Table, v dataset.View) int {
 // For each profile, SELECT(1) is mined and we report how many planted
 // rules are matched by a mined rule (item overlap on both sides) and the
 // exact-match count.
-func RunRecovery(w io.Writer, scale float64, profiles []synth.Profile) error {
+func RunRecovery(ctx context.Context, w io.Writer, scale float64, profiles []synth.Profile) error {
 	if profiles == nil {
 		profiles = synth.SmallProfiles()
 	}
@@ -191,11 +198,14 @@ func RunRecovery(w io.Writer, scale float64, profiles []synth.Profile) error {
 		if err != nil {
 			return err
 		}
-		cands, _, err := cappedCandidates(d, sp.MinSupport)
+		cands, _, err := cappedCandidates(ctx, d, sp.MinSupport)
 		if err != nil {
 			return err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+		res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+		if err != nil {
+			return err
+		}
 		overlap, exact := 0, 0
 		for _, pr := range planted {
 			matched, exactMatch := false, false
@@ -225,7 +235,7 @@ func RunRecovery(w io.Writer, scale float64, profiles []synth.Profile) error {
 // cross-view association rules (mined with the lowest c+ and support of
 // any TRANSLATOR rule as thresholds, exactly the paper's protocol)
 // against the number of rules TRANSLATOR selects.
-func RunExplosion(w io.Writer, scale float64, profiles []synth.Profile) error {
+func RunExplosion(ctx context.Context, w io.Writer, scale float64, profiles []synth.Profile) error {
 	if profiles == nil {
 		profiles = []synth.Profile{
 			mustProfile("car"), mustProfile("house"),
@@ -242,11 +252,14 @@ func RunExplosion(w io.Writer, scale float64, profiles []synth.Profile) error {
 		if err != nil {
 			return err
 		}
-		cands, _, err := cappedCandidates(d, sp.MinSupport)
+		cands, _, err := cappedCandidates(ctx, d, sp.MinSupport)
 		if err != nil {
 			return err
 		}
-		res := core.MineSelect(d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+		res, err := core.MineSelect(ctx, d, cands, core.SelectOptions{K: 1, ParallelOptions: par()})
+		if err != nil {
+			return err
+		}
 		if res.Table.Size() == 0 {
 			t.AddRow(p.Name, 0, "-", "-", "-", "-")
 			continue
@@ -276,7 +289,7 @@ func RunExplosion(w io.Writer, scale float64, profiles []synth.Profile) error {
 
 // RunAblation runs extension X2: wall-clock effect of the §5.2 pruning
 // bounds on the first TRANSLATOR-EXACT iterations.
-func RunAblation(w io.Writer, scale float64, rules int, profiles []synth.Profile) error {
+func RunAblation(ctx context.Context, w io.Writer, scale float64, rules int, profiles []synth.Profile) error {
 	if profiles == nil {
 		// Narrow datasets: the unpruned ablation runs enumerate the whole
 		// occurring-pair space, which is infeasible on wide data (wine).
@@ -296,7 +309,9 @@ func RunAblation(w io.Writer, scale float64, rules int, profiles []synth.Profile
 			{MaxRules: rules, DisableRub: true, DisableQub: true, ParallelOptions: par()},
 		} {
 			start := time.Now()
-			core.MineExact(d, opt)
+			if _, err := core.MineExact(ctx, d, opt); err != nil {
+				return err
+			}
 			times = append(times, time.Since(start))
 		}
 		t.AddRow(p.Name, times[0], times[1], times[2], times[3])

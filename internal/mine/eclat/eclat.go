@@ -25,6 +25,7 @@
 package eclat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -102,6 +103,7 @@ type Options struct {
 // shared by all workers of one Mine call.
 type walk struct {
 	d       *dataset.Dataset
+	ctx     context.Context
 	opt     Options
 	nLeft   int
 	cols    []*bitset.Set
@@ -109,10 +111,21 @@ type walk struct {
 	emitted *pool.Counter // MaxResults accounting across workers
 }
 
+// ctxProbeMask gates the in-branch cancellation probe: one ctx.Err()
+// call per 1024 visited nodes, so a single huge top-level branch still
+// observes cancellation promptly while the steady-state walk pays one
+// counter increment and mask per node.
+const ctxProbeMask = 1<<10 - 1
+
 // Mine returns the (closed) frequent itemsets of the joined views of d
 // under the given options, sorted by decreasing support with a
 // deterministic tie-break.
-func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
+//
+// Cancelling ctx aborts the walk between branches (and, within a
+// branch, at the next node probe) and returns ctx.Err(); the partial
+// output is discarded. With an uncancelled context the mined set is
+// bit-identical for every worker count, exactly as before.
+func Mine(ctx context.Context, d *dataset.Dataset, opt Options) ([]FI, error) {
 	if opt.MinSupport < 1 {
 		opt.MinSupport = 1
 	}
@@ -143,7 +156,7 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 		}
 		return freq[a] < freq[b]
 	})
-	w := &walk{d: d, opt: opt, nLeft: nL, cols: cols, order: freq,
+	w := &walk{d: d, ctx: ctx, opt: opt, nLeft: nL, cols: cols, order: freq,
 		emitted: new(pool.Counter)}
 
 	all := bitset.New(d.Size())
@@ -155,7 +168,7 @@ func Mine(d *dataset.Dataset, opt Options) ([]FI, error) {
 	// free-list.
 	workers := pool.Size(opt.Workers, len(w.order))
 	p := pool.NewOn(opt.Runtime, workers, func(int) *miner { return &miner{walk: w} })
-	err := p.RunErr(len(w.order), func(mi *miner, k int) error {
+	err := p.RunErrCtx(ctx, len(w.order), func(mi *miner, k int) error {
 		return mi.branch(nil, all, k, 0)
 	})
 	if err != nil {
@@ -186,8 +199,9 @@ type miner struct {
 	*walk
 	out []FI
 
-	free bitset.FreeList   // tidsets of non-emitted nodes, recycled
-	sets []itemset.Itemset // per-depth candidate/closure scratch
+	free  bitset.FreeList   // tidsets of non-emitted nodes, recycled
+	sets  []itemset.Itemset // per-depth candidate/closure scratch
+	ticks uint              // node counter driving the periodic ctx probe
 }
 
 // scratch returns the (emptied) itemset buffer of the given depth,
@@ -225,6 +239,11 @@ func (m *miner) dfs(cur itemset.Itemset, tids *bitset.Set, start, depth int) err
 // free-list. Both are cloned, or handed over, only on emission —
 // everything else recycles, so the steady-state walk does not allocate.
 func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k, depth int) error {
+	if m.ticks++; m.ticks&ctxProbeMask == 0 {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	it := m.order[k]
 	if cur.Contains(it) {
 		return nil // already absorbed by a closure on this path

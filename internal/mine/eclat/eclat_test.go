@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -30,7 +31,7 @@ func small(t *testing.T) *dataset.Dataset {
 
 func TestMineFrequentAll(t *testing.T) {
 	d := small(t)
-	fis, err := Mine(d, Options{MinSupport: 1})
+	fis, err := Mine(context.Background(), d, Options{MinSupport: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMineFrequentAll(t *testing.T) {
 
 func TestMineMinSupport(t *testing.T) {
 	d := small(t)
-	fis, err := Mine(d, Options{MinSupport: 2})
+	fis, err := Mine(context.Background(), d, Options{MinSupport: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestMineMinSupport(t *testing.T) {
 
 func TestMineTwoViewFilter(t *testing.T) {
 	d := small(t)
-	fis, err := Mine(d, Options{MinSupport: 1, TwoView: true})
+	fis, err := Mine(context.Background(), d, Options{MinSupport: 1, TwoView: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMineTwoViewFilter(t *testing.T) {
 
 func TestMineClosedSmall(t *testing.T) {
 	d := small(t)
-	fis, err := Mine(d, Options{MinSupport: 1, Closed: true})
+	fis, err := Mine(context.Background(), d, Options{MinSupport: 1, Closed: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestMineClosedSmall(t *testing.T) {
 
 func TestMaxItems(t *testing.T) {
 	d := small(t)
-	fis, err := Mine(d, Options{MinSupport: 1, MaxItems: 2})
+	fis, err := Mine(context.Background(), d, Options{MinSupport: 1, MaxItems: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestMaxItems(t *testing.T) {
 
 func TestMaxResults(t *testing.T) {
 	d := small(t)
-	if _, err := Mine(d, Options{MinSupport: 1, MaxResults: 3}); err == nil {
+	if _, err := Mine(context.Background(), d, Options{MinSupport: 1, MaxResults: 3}); err == nil {
 		t.Fatal("expected explosion error")
 	}
 }
@@ -170,13 +171,13 @@ func TestMineParallelDeterminism(t *testing.T) {
 			{MinSupport: 1, MaxItems: 3},
 		} {
 			opt.Workers = 1
-			serial, err := Mine(d, opt)
+			serial, err := Mine(context.Background(), d, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{2, 4, 7} {
 				opt.Workers = workers
-				par, err := Mine(d, opt)
+				par, err := Mine(context.Background(), d, opt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -200,11 +201,11 @@ func TestMineParallelDeterminism(t *testing.T) {
 func TestMaxResultsParallel(t *testing.T) {
 	d := small(t)
 	for _, workers := range []int{1, 2, 4, 7} {
-		if _, err := Mine(d, Options{MinSupport: 1, MaxResults: 3, Workers: workers}); err == nil {
+		if _, err := Mine(context.Background(), d, Options{MinSupport: 1, MaxResults: 3, Workers: workers}); err == nil {
 			t.Fatalf("workers=%d: expected explosion error", workers)
 		}
 		// A cap the output fits under must never trip.
-		fis, err := Mine(d, Options{MinSupport: 1, MaxResults: 100, Workers: workers})
+		fis, err := Mine(context.Background(), d, Options{MinSupport: 1, MaxResults: 100, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -216,8 +217,8 @@ func TestMaxResultsParallel(t *testing.T) {
 
 func TestSortOrderDeterministic(t *testing.T) {
 	d := small(t)
-	a, _ := Mine(d, Options{MinSupport: 1})
-	b, _ := Mine(d, Options{MinSupport: 1})
+	a, _ := Mine(context.Background(), d, Options{MinSupport: 1})
+	b, _ := Mine(context.Background(), d, Options{MinSupport: 1})
 	for i := range a {
 		if !a[i].Items.Equal(b[i].Items) {
 			t.Fatal("mining is not deterministic")
@@ -331,7 +332,7 @@ func TestQuickFrequentMatchesBruteForce(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		d := randomDataset(r)
 		minsup := 1 + r.Intn(3)
-		fis, err := Mine(d, Options{MinSupport: minsup})
+		fis, err := Mine(context.Background(), d, Options{MinSupport: minsup})
 		if err != nil {
 			return false
 		}
@@ -356,7 +357,7 @@ func TestQuickClosedMatchesBruteForce(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		d := randomDataset(r)
 		minsup := 1 + r.Intn(3)
-		fis, err := Mine(d, Options{MinSupport: minsup, Closed: true})
+		fis, err := Mine(context.Background(), d, Options{MinSupport: minsup, Closed: true})
 		if err != nil {
 			return false
 		}

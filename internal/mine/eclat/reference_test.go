@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -189,7 +190,7 @@ func TestRecyclingMatchesReference(t *testing.T) {
 			}
 			for _, workers := range []int{1, 2, 4, 7} {
 				opt.Workers = workers
-				got, err := Mine(d, opt)
+				got, err := Mine(context.Background(), d, opt)
 				if err != nil {
 					t.Fatalf("trial %d workers %d: %v", trial, workers, err)
 				}
@@ -212,7 +213,7 @@ func TestQuickRecyclingMatchesReference(t *testing.T) {
 			return false
 		}
 		opt.Workers = 1 + r.Intn(4)
-		got, err := Mine(d, opt)
+		got, err := Mine(context.Background(), d, opt)
 		if err != nil || len(got) != len(want) {
 			return false
 		}
@@ -238,11 +239,11 @@ func TestQuickRecyclingMatchesReference(t *testing.T) {
 // free-list actually recycling (no retained tidsets at all).
 func TestDropTids(t *testing.T) {
 	d := small(t)
-	with, err := Mine(d, Options{MinSupport: 1, Closed: true, TwoView: true})
+	with, err := Mine(context.Background(), d, Options{MinSupport: 1, Closed: true, TwoView: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Mine(d, Options{MinSupport: 1, Closed: true, TwoView: true, DropTids: true})
+	without, err := Mine(context.Background(), d, Options{MinSupport: 1, Closed: true, TwoView: true, DropTids: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package multiview
 
 import (
+	"context"
 	"fmt"
 
 	"twoview/internal/core"
@@ -115,8 +116,11 @@ type Options struct {
 }
 
 // MineAllPairs mines a translation table for every unordered view pair
-// with TRANSLATOR-SELECT(k), in deterministic (i < j) order.
-func MineAllPairs(d *Dataset, opt Options) ([]PairResult, error) {
+// with TRANSLATOR-SELECT(k), in deterministic (i < j) order. Cancelling
+// ctx aborts the batch at the next checkpoint (between pairs, or at any
+// cancellation checkpoint inside the per-pair candidate mine and SELECT
+// run) and returns ctx.Err(); the pairs mined so far are discarded.
+func MineAllPairs(ctx context.Context, d *Dataset, opt Options) ([]PairResult, error) {
 	if opt.K < 1 {
 		opt.K = 1
 	}
@@ -126,16 +130,25 @@ func MineAllPairs(d *Dataset, opt Options) ([]PairResult, error) {
 	var out []PairResult
 	for i := 0; i < d.Views(); i++ {
 		for j := i + 1; j < d.Views(); j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			two, err := d.Pair(i, j)
 			if err != nil {
 				return nil, err
 			}
-			cands, err := core.MineCandidates(two, opt.MinSupport, opt.MaxCandidates, opt.ParallelOptions)
+			cands, err := core.MineCandidates(ctx, two, opt.MinSupport, opt.MaxCandidates, opt.ParallelOptions)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				return nil, fmt.Errorf("multiview: pair (%s, %s): %w",
 					d.ViewName(i), d.ViewName(j), err)
 			}
-			res := core.MineSelect(two, cands, core.SelectOptions{K: opt.K, ParallelOptions: opt.ParallelOptions})
+			res, err := core.MineSelect(ctx, two, cands, core.SelectOptions{K: opt.K, ParallelOptions: opt.ParallelOptions})
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, PairResult{I: i, J: j, Data: two, Result: res})
 		}
 	}

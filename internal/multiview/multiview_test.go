@@ -1,6 +1,7 @@
 package multiview
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -102,7 +103,7 @@ func TestPairProjection(t *testing.T) {
 
 func TestMineAllPairsFindsSharedStructureOnly(t *testing.T) {
 	d := threeViews(t)
-	results, err := MineAllPairs(d, Options{MinSupport: 3})
+	results, err := MineAllPairs(context.Background(), d, Options{MinSupport: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +127,11 @@ func TestMineAllPairsFindsSharedStructureOnly(t *testing.T) {
 
 func TestMineAllPairsDeterministic(t *testing.T) {
 	d := threeViews(t)
-	a, err := MineAllPairs(d, Options{MinSupport: 3})
+	a, err := MineAllPairs(context.Background(), d, Options{MinSupport: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MineAllPairs(d, Options{MinSupport: 3})
+	b, err := MineAllPairs(context.Background(), d, Options{MinSupport: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,154 @@
+package pool
+
+import "context"
+
+// Context-aware phase submission. Every primitive in this file is the
+// exact counterpart of its ctx-less sibling with one extra rule: once
+// ctx is cancelled, no new tasks are dispensed. Tasks already running
+// finish normally, the phase barrier releases as usual, and the Runtime
+// stays fully reusable — a cancelled phase drains its workers back to
+// the parked state instead of wedging them. The primitives then report
+// ctx.Err().
+//
+// The determinism contract is unaffected: with an uncancelled context
+// the per-task ctx.Err() probe reads nil and the execution is
+// instruction-for-instruction the one the ctx-less primitive performs,
+// so results stay bit-identical for every worker count. Under
+// cancellation the partial work is discarded by the callers (they
+// return the context error), so the schedule-dependence of *which*
+// tasks ran before the cut is never observable.
+//
+// Cancellation granularity is the task: a phase stops between tasks,
+// never inside one. Long-running tasks (deep search branches) keep
+// their own periodic ctx probes — see the miners — so the latency of a
+// cancellation is bounded by a probe interval, not by a whole branch.
+
+// RunCtx is Run with a cancellation cut between tasks: when ctx is
+// cancelled, the dispensing of new tasks stops, running tasks finish,
+// and ctx.Err() is returned. A nil error means every task ran.
+func (p *Pool[S]) RunCtx(ctx context.Context, tasks int, fn func(s S, task int)) error {
+	if len(p.states) == 1 {
+		for t := 0; t < tasks; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(p.states[0], t)
+		}
+		return ctx.Err()
+	}
+	p.rt.phase(len(p.states), tasks, func(slot, t int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		fn(p.states[slot], t)
+		return true
+	})
+	return ctx.Err()
+}
+
+// RunErrCtx is RunErr with the cancellation cut of RunCtx. When the
+// context is cancelled its error takes precedence over any task error:
+// task errors observed mid-cancellation are schedule-dependent, while
+// ctx.Err() is not.
+func (p *Pool[S]) RunErrCtx(ctx context.Context, tasks int, fn func(s S, task int) error) error {
+	err := p.RunErr(tasks, func(s S, task int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fn(s, task)
+	})
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// MapOrderedIntoCtxOn is MapOrderedIntoOn with the cancellation cut of
+// RunCtx. On cancellation the returned slice (resized to length n, with
+// only some slots written) is scratch for reuse, never data: callers
+// must discard its contents alongside the returned ctx.Err().
+func MapOrderedIntoCtxOn[T any](rt *Runtime, ctx context.Context, dst []T, workers, n int, fn func(i int) T) ([]T, error) {
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]T, n)
+	}
+	workers = Size(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return dst, err
+			}
+			dst[i] = fn(i)
+		}
+		return dst, ctx.Err()
+	}
+	if rt == nil {
+		rt = Default()
+	}
+	rt.phase(workers, n, func(_, i int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		dst[i] = fn(i)
+		return true
+	})
+	return dst, ctx.Err()
+}
+
+// MapChunksIntoCtxOn is MapChunksIntoOn with the cancellation cut of
+// RunCtx. On cancellation the returned slice is dst unchanged (no
+// partial chunks are appended) alongside ctx.Err().
+func MapChunksIntoCtxOn[T any](rt *Runtime, ctx context.Context, dst []T, workers, n, chunk int, fn func(lo, hi int) []T) ([]T, error) {
+	if n <= 0 {
+		return dst, ctx.Err()
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	tasks := (n + chunk - 1) / chunk
+	if tasks == 1 {
+		if err := ctx.Err(); err != nil {
+			return dst, err
+		}
+		part := fn(0, n)
+		// Honour the no-partial-appends contract: a cancellation during
+		// the chunk leaves dst untouched, like the multi-task path.
+		if err := ctx.Err(); err != nil {
+			return dst, err
+		}
+		return append(dst, part...), nil
+	}
+	parts := make([][]T, tasks)
+	if rt == nil {
+		rt = Default()
+	}
+	rt.phase(Size(workers, tasks), tasks, func(_, t int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		parts[t] = fn(lo, hi)
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if free := cap(dst) - len(dst); free < total {
+		grown := make([]T, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, part := range parts {
+		dst = append(dst, part...)
+	}
+	return dst, nil
+}

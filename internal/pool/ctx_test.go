@@ -1,0 +1,177 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// A context cancelled before submission runs no tasks at all.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt := NewRuntime()
+	defer rt.Close()
+	p := NewOn(rt, 4, func(int) int { return 0 })
+	var ran atomic.Int64
+	err := p.RunCtx(ctx, 100, func(int, int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d tasks ran on a pre-cancelled context", n)
+	}
+}
+
+// Cancelling mid-phase stops the dispensing of new tasks, drains the
+// running ones, and leaves the Runtime fully reusable: a follow-up
+// phase on the same runtime (and the same pool) completes normally.
+func TestRunCtxMidPhaseCancelDrainsAndReuses(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	for _, workers := range []int{1, 2, 4, 7} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := NewOn(rt, workers, func(int) int { return 0 })
+		var ran atomic.Int64
+		err := p.RunCtx(ctx, 1000, func(_ int, task int) {
+			if task == 3 {
+				cancel()
+			}
+			ran.Add(1)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: cancellation did not cut the phase (%d tasks ran)", workers, n)
+		}
+		// The runtime must not be wedged: a fresh phase completes.
+		ran.Store(0)
+		if err := p.RunCtx(context.Background(), 50, func(int, int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: follow-up phase failed: %v", workers, err)
+		}
+		if n := ran.Load(); n != 50 {
+			t.Fatalf("workers=%d: follow-up phase ran %d of 50 tasks", workers, n)
+		}
+		cancel()
+	}
+}
+
+// The context error takes precedence over task errors in RunErrCtx, and
+// plain task errors still pass through untouched when the context stays
+// alive.
+func TestRunErrCtx(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	p := NewOn(rt, 3, func(int) int { return 0 })
+
+	errBoom := errors.New("boom")
+	err := p.RunErrCtx(context.Background(), 20, func(_ int, task int) error {
+		if task == 5 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want %v", err, errBoom)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	err = p.RunErrCtx(ctx, 20, func(_ int, task int) error {
+		if task == 2 {
+			cancel()
+			return errBoom // the context error must win
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// With an uncancelled context the ctx variants compute exactly what the
+// ctx-less primitives compute.
+func TestCtxVariantsMatchPlainOnes(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	n := 500
+	fn := func(i int) int { return i * i }
+
+	want := MapOrderedOn(rt, 4, n, fn)
+	got, err := MapOrderedIntoCtxOn(rt, context.Background(), nil, 4, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MapOrderedIntoCtxOn[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	chunkFn := func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, 3*i)
+		}
+		return out
+	}
+	wantC := MapChunksIntoOn(rt, nil, 4, n, 64, chunkFn)
+	gotC, err := MapChunksIntoCtxOn(rt, context.Background(), nil, 4, n, 64, chunkFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotC) != len(wantC) {
+		t.Fatalf("len = %d, want %d", len(gotC), len(wantC))
+	}
+	for i := range wantC {
+		if gotC[i] != wantC[i] {
+			t.Fatalf("MapChunksIntoCtxOn[%d] = %d, want %d", i, gotC[i], wantC[i])
+		}
+	}
+}
+
+// Cancelled map phases return the context error and never append
+// partial chunks.
+func TestMapCtxCancelled(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := MapOrderedIntoCtxOn(rt, ctx, nil, 4, 100, func(i int) int { return i }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapOrderedIntoCtxOn err = %v, want context.Canceled", err)
+	}
+	dst := []int{7}
+	out, err := MapChunksIntoCtxOn(rt, ctx, dst, 4, 100, 8, func(lo, hi int) []int { return []int{lo} })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapChunksIntoCtxOn err = %v, want context.Canceled", err)
+	}
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("MapChunksIntoCtxOn appended partial chunks: %v", out)
+	}
+}
+
+// A storm of cancelled phases leaves the runtime healthy for a final
+// full phase — the drain path never leaks or wedges workers.
+func TestRepeatedCancelledPhases(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	p := NewOn(rt, 6, func(int) int { return 0 })
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = p.RunCtx(ctx, 200, func(_ int, task int) {
+			if task == 0 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	var ran atomic.Int64
+	if err := p.RunCtx(context.Background(), 100, func(int, int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("final phase ran %d of 100 tasks", ran.Load())
+	}
+}

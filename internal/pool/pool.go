@@ -42,9 +42,19 @@
 // counter), because search-tree branch costs are heavily skewed;
 // dynamic assignment changes only *which worker* runs a task, which the
 // rules above make unobservable.
+//
+// # Cancellation
+//
+// Every primitive has a context-aware sibling (RunCtx, RunErrCtx,
+// MapOrderedIntoCtxOn, MapChunksIntoCtxOn — see ctx.go): cancelling the
+// context stops the dispensing of new tasks, drains the running ones,
+// and returns ctx.Err(), leaving the Runtime parked and reusable. With
+// an uncancelled context the ctx variants are bit-identical to the
+// plain ones.
 package pool
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -373,18 +383,10 @@ func (p *Pool[S]) States() []S { return p.states }
 // Run executes fn(state, task) for every task in [0, tasks), pulling
 // task indices dynamically. It returns when all tasks have finished
 // (a barrier), so consecutive Run calls form sequential phases over the
-// same worker states.
+// same worker states. It is RunCtx on the background context (whose
+// Err probe is a constant nil), so the two share one body.
 func (p *Pool[S]) Run(tasks int, fn func(s S, task int)) {
-	if len(p.states) == 1 {
-		for t := 0; t < tasks; t++ {
-			fn(p.states[0], t)
-		}
-		return
-	}
-	p.rt.phase(len(p.states), tasks, func(slot, t int) bool {
-		fn(p.states[slot], t)
-		return true
-	})
+	p.RunCtx(context.Background(), tasks, fn)
 }
 
 // RunErr is Run for fallible tasks. After the first failure no new
@@ -444,28 +446,11 @@ func MapOrderedOn[T any](rt *Runtime, workers, n int, fn func(i int) T) []T {
 // round-structured callers — SELECT's per-round re-check, GREEDY's
 // per-block speculative scoring — can reuse one result buffer across
 // rounds instead of allocating a fresh slice per phase. Stale dst
-// contents are never read: every slot in [0, n) is overwritten.
+// contents are never read: every slot in [0, n) is overwritten. It is
+// the ctx variant on the background context, sharing one body.
 func MapOrderedIntoOn[T any](rt *Runtime, dst []T, workers, n int, fn func(i int) T) []T {
-	if cap(dst) >= n {
-		dst = dst[:n]
-	} else {
-		dst = make([]T, n)
-	}
-	workers = Size(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			dst[i] = fn(i)
-		}
-		return dst
-	}
-	if rt == nil {
-		rt = Default()
-	}
-	rt.phase(workers, n, func(_, i int) bool {
-		dst[i] = fn(i)
-		return true
-	})
-	return dst
+	out, _ := MapOrderedIntoCtxOn(rt, context.Background(), dst, workers, n, fn)
+	return out
 }
 
 // MapChunksInto splits [0, n) into fixed-size chunks, applies fn to
@@ -481,42 +466,9 @@ func MapChunksInto[T any](dst []T, workers, n, chunk int, fn func(lo, hi int) []
 }
 
 // MapChunksIntoOn is MapChunksInto on an explicit runtime; rt == nil
-// means Default.
+// means Default. It is the ctx variant on the background context,
+// sharing one body.
 func MapChunksIntoOn[T any](rt *Runtime, dst []T, workers, n, chunk int, fn func(lo, hi int) []T) []T {
-	if n <= 0 {
-		return dst
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	tasks := (n + chunk - 1) / chunk
-	if tasks == 1 {
-		return append(dst, fn(0, n)...)
-	}
-	parts := make([][]T, tasks)
-	if rt == nil {
-		rt = Default()
-	}
-	rt.phase(Size(workers, tasks), tasks, func(_, t int) bool {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		parts[t] = fn(lo, hi)
-		return true
-	})
-	total := 0
-	for _, part := range parts {
-		total += len(part)
-	}
-	if free := cap(dst) - len(dst); free < total {
-		grown := make([]T, len(dst), len(dst)+total)
-		copy(grown, dst)
-		dst = grown
-	}
-	for _, part := range parts {
-		dst = append(dst, part...)
-	}
-	return dst
+	out, _ := MapChunksIntoCtxOn(rt, context.Background(), dst, workers, n, chunk, fn)
+	return out
 }

@@ -2,8 +2,9 @@
 // to the fourteen real-world datasets of the paper's Table 1 (|D|, |I_L|,
 // |I_R|, d_L, d_R). The real datasets (LUCS/KDD, UCI, MULAN repositories,
 // the European mammal atlas and the 2011 Finnish election engine data)
-// are not redistributable inside this offline module; these generators are
-// the documented substitution (see DESIGN.md §2).
+// are not redistributable inside this offline module; these generators
+// are the documented substitution (see README.md, section "Reproducing
+// the paper").
 //
 // Each dataset is a superposition of
 //

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -193,11 +194,14 @@ func TestMinedTablesRecoverPlantedStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, err := core.MineCandidates(d, 5, 0, core.ParallelOptions{})
+	cands, err := core.MineCandidates(context.Background(), d, 5, 0, core.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := core.MineSelect(d, cands, core.SelectOptions{K: 1})
+	res, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.State.CompressionRatio() >= 100 {
 		t.Fatalf("no compression on planted data: L%%=%v", res.State.CompressionRatio())
 	}

@@ -1,6 +1,10 @@
 package twoview
 
-import "twoview/internal/multiview"
+import (
+	"context"
+
+	"twoview/internal/multiview"
+)
 
 // Multi-view support (the paper's §7 future-work direction): datasets
 // with more than two views are decomposed into pairwise two-view
@@ -20,8 +24,10 @@ func NewMultiDataset(viewNames []string, itemNames [][]string) (*MultiDataset, e
 }
 
 // MineAllPairs mines a translation table for every unordered view pair.
-func MineAllPairs(d *MultiDataset, opt MultiOptions) ([]PairResult, error) {
-	return multiview.MineAllPairs(d, opt)
+// Cancelling ctx aborts the batch at the next checkpoint (between pairs
+// or inside the per-pair mining) and returns ctx.Err().
+func MineAllPairs(ctx context.Context, d *MultiDataset, opt MultiOptions) ([]PairResult, error) {
+	return multiview.MineAllPairs(ctx, d, opt)
 }
 
 // StructureMatrix summarizes pairwise compression ratios L% as a

@@ -27,18 +27,43 @@
 //	                           []string{"mood:energetic", "mood:calm"})
 //	d.AddRow([]int{0, 1}, []int{0})
 //	...
-//	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
-//	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+//	ctx := context.Background()
+//	cands, _ := twoview.MineCandidates(ctx, d, 1, 0, twoview.ParallelOptions{})
+//	res, _ := twoview.MineSelect(ctx, d, cands, twoview.SelectOptions{K: 1})
 //	for _, r := range res.Table.Rules {
 //	    fmt.Println(r.Format(d))
 //	}
 //	fmt.Println(twoview.Summarize(d, res).LPct) // compression ratio
 //
-// See the examples/ directory for complete programs, and DESIGN.md /
-// EXPERIMENTS.md for the experimental reproduction of the paper.
+// # Contexts and cancellation
+//
+// Every mining entry point takes a context.Context and returns an
+// error. Cancelling the context (deadline, signal, caller shutdown)
+// aborts the search at the next checkpoint — an iteration or round
+// boundary, a worker-phase task boundary, or the periodic probe inside
+// a deep search branch — and returns the rules mined so far alongside
+// ctx.Err(). A cancelled run leaves its Session reusable. With an
+// uncancelled context results are bit-identical to the pre-context API
+// for every worker count, and the error is nil for the in-memory
+// miners. The v1 signatures survive one release as deprecated wrappers
+// (MineExactV1 etc.); see README.md's "Migrating to the v2 API".
+//
+// # Serving
+//
+// Mining is the expensive, one-time step; translation is the serving
+// step. A Translator compiles a mined (or loaded) table against the
+// dataset vocabularies once — item-indexed rule posting lists and
+// per-rule antecedent masks — and then translates rows, batches, or
+// unbounded streams cheaply and concurrently; Apply is a thin wrapper
+// that compiles and applies once. See README.md's "Serving" section.
+//
+// See the examples/ directory for complete programs, and README.md
+// (section "Reproducing the paper") for the experimental reproduction
+// of the paper.
 package twoview
 
 import (
+	"context"
 	"io"
 
 	"twoview/internal/core"
@@ -71,6 +96,10 @@ type (
 	Result = core.Result
 	// IterationStats traces one added rule during mining.
 	IterationStats = core.IterationStats
+	// IterationFunc is the OnIteration progress hook of the miners'
+	// options: it observes each added rule and may stop the run early
+	// (cleanly, with a nil error) by returning false.
+	IterationFunc = core.IterationFunc
 
 	// ExactOptions configures MineExact.
 	ExactOptions = core.ExactOptions
@@ -150,33 +179,41 @@ func NewSession() *Session { return core.NewSession() }
 // iteration; for datasets with moderate numbers of items). The
 // branch-and-bound search parallelizes across ParallelOptions.Workers
 // goroutines (0 = GOMAXPROCS, 1 = serial) with results independent of the
-// worker count.
-func MineExact(d *Dataset, opt ExactOptions) *Result { return core.MineExact(d, opt) }
+// worker count. Cancelling ctx aborts the search at the next checkpoint
+// and returns the table mined so far alongside ctx.Err().
+func MineExact(ctx context.Context, d *Dataset, opt ExactOptions) (*Result, error) {
+	return core.MineExact(ctx, d, opt)
+}
 
 // MineCandidates mines the closed frequent two-view itemsets that serve
 // as candidates for MineSelect and MineGreedy. maxResults guards against
 // pattern explosion (0 = unbounded). The ECLAT walk parallelizes across
 // par.Workers goroutines with results independent of the worker count.
-func MineCandidates(d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
-	return core.MineCandidates(d, minSupport, maxResults, par)
+// Cancelling ctx aborts the walk and returns ctx.Err().
+func MineCandidates(ctx context.Context, d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, error) {
+	return core.MineCandidates(ctx, d, minSupport, maxResults, par)
 }
 
 // MineCandidatesCapped is MineCandidates with automatic support raising:
 // on a pattern explosion it doubles minSupport until at most maxResults
 // candidates remain, returning the effective support used (the paper's
 // §6.1 protocol). Prefer this on unfamiliar data.
-func MineCandidatesCapped(d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
-	return core.MineCandidatesCapped(d, minSupport, maxResults, par)
+func MineCandidatesCapped(ctx context.Context, d *Dataset, minSupport, maxResults int, par ParallelOptions) ([]Candidate, int, error) {
+	return core.MineCandidatesCapped(ctx, d, minSupport, maxResults, par)
 }
 
-// MineSelect runs TRANSLATOR-SELECT(k) over the candidates.
-func MineSelect(d *Dataset, cands []Candidate, opt SelectOptions) *Result {
-	return core.MineSelect(d, cands, opt)
+// MineSelect runs TRANSLATOR-SELECT(k) over the candidates. Cancelling
+// ctx aborts the run at the next checkpoint and returns the table mined
+// so far alongside ctx.Err().
+func MineSelect(ctx context.Context, d *Dataset, cands []Candidate, opt SelectOptions) (*Result, error) {
+	return core.MineSelect(ctx, d, cands, opt)
 }
 
-// MineGreedy runs TRANSLATOR-GREEDY over the candidates.
-func MineGreedy(d *Dataset, cands []Candidate, opt GreedyOptions) *Result {
-	return core.MineGreedy(d, cands, opt)
+// MineGreedy runs TRANSLATOR-GREEDY over the candidates. Cancelling ctx
+// aborts the pass at the next checkpoint and returns the table mined so
+// far alongside ctx.Err().
+func MineGreedy(ctx context.Context, d *Dataset, cands []Candidate, opt GreedyOptions) (*Result, error) {
+	return core.MineGreedy(ctx, d, cands, opt)
 }
 
 // Summarize computes the paper's evaluation metrics for a mining result.
@@ -234,8 +271,29 @@ func ReadTableFile(path string, d *Dataset) (*Table, error) {
 type ApplyReport = core.ApplyReport
 
 // Apply translates view `from` of d with t and reports translation and
-// correction statistics.
-func Apply(d *Dataset, t *Table, from View) ApplyReport { return core.Apply(d, t, from) }
+// correction statistics. It compiles t and applies it once; callers
+// applying the same table repeatedly should CompileTranslator
+// themselves and amortize the preparation across calls.
+func Apply(ctx context.Context, d *Dataset, t *Table, from View) (ApplyReport, error) {
+	return core.Apply(ctx, d, t, from)
+}
+
+// Translator is a translation table compiled against a dataset's
+// vocabularies for repeated application — the serving-side artifact of
+// "mine once, Apply many". It is immutable after compilation and safe
+// for concurrent use by any number of goroutines.
+type Translator = core.Translator
+
+// Corrections is the per-transaction correction pair (U, E) of the
+// lossless translation scheme.
+type Corrections = core.Corrections
+
+// CompileTranslator compiles t against d's vocabularies: item-indexed
+// rule posting lists plus per-rule antecedent masks. Compile once, then
+// Translate / TranslateBatch / Apply / ApplyStream any number of times.
+func CompileTranslator(d *Dataset, t *Table) (*Translator, error) {
+	return core.CompileTranslator(d, t)
+}
 
 // Generate builds a synthetic two-view dataset from a profile, returning
 // the planted ground-truth rules alongside the data.

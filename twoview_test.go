@@ -2,6 +2,7 @@ package twoview_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -40,14 +41,14 @@ func buildToy(t testing.TB) *twoview.Dataset {
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	d := buildToy(t)
-	cands, err := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
+	cands, err := twoview.MineCandidates(context.Background(), d, 1, 0, twoview.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 	if res.Table.Size() == 0 {
 		t.Fatal("no rules mined")
 	}
@@ -56,7 +57,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("no compression: %v", m.LPct)
 	}
 	// Exact agrees on this small instance (score can only be better).
-	exact := twoview.MineExact(d, twoview.ExactOptions{})
+	exact, _ := twoview.MineExact(context.Background(), d, twoview.ExactOptions{})
 	me := twoview.Summarize(d, exact)
 	if me.LPct > m.LPct+1e-9 {
 		t.Fatalf("exact (%v) worse than select (%v)", me.LPct, m.LPct)
@@ -75,11 +76,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestPublicAPIGreedyAndDirections(t *testing.T) {
 	d := buildToy(t)
-	cands, err := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
+	cands, err := twoview.MineCandidates(context.Background(), d, 1, 0, twoview.ParallelOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := twoview.MineGreedy(d, cands, twoview.GreedyOptions{})
+	res, _ := twoview.MineGreedy(context.Background(), d, cands, twoview.GreedyOptions{})
 	if res.Table.Size() == 0 {
 		t.Fatal("greedy found nothing")
 	}
@@ -126,8 +127,8 @@ func TestPublicAPISynthesis(t *testing.T) {
 
 func TestPublicAPIDot(t *testing.T) {
 	d := buildToy(t)
-	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	cands, _ := twoview.MineCandidates(context.Background(), d, 1, 0, twoview.ParallelOptions{})
+	res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 	var b strings.Builder
 	if err := twoview.WriteDot(&b, d, res.Table, "toy"); err != nil {
 		t.Fatal(err)
@@ -149,8 +150,8 @@ func ExampleMineSelect() {
 	for i := 0; i < 4; i++ {
 		d.AddRow(nil, nil)
 	}
-	cands, _ := twoview.MineCandidates(d, 1, 0, twoview.ParallelOptions{})
-	res := twoview.MineSelect(d, cands, twoview.SelectOptions{K: 1})
+	cands, _ := twoview.MineCandidates(context.Background(), d, 1, 0, twoview.ParallelOptions{})
+	res, _ := twoview.MineSelect(context.Background(), d, cands, twoview.SelectOptions{K: 1})
 	for _, r := range res.Table.Rules {
 		fmt.Println(r.Format(d))
 	}
