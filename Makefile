@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: test lint fuzz-smoke promote-baseline
+
+# The tier-1 gate: everything CI's build/test steps enforce.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# vet + the repo's own analyzer suite (cmd/twovet). Must run from the
+# module root.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/twovet ./...
+
+# 30-second native-fuzzing smoke on the text readers (see README,
+# "Fuzzing"). Each target runs separately: `go test -fuzz` accepts a
+# single fuzz target per package invocation.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRowReader -fuzztime=30s ./internal/dataset
+	$(GO) test -fuzz=FuzzReadTable -fuzztime=30s ./internal/core
+
+# Arm (or re-anchor) the benchmark regression gate from a green CI run:
+# every run uploads a promotion-ready bench-baseline artifact recorded
+# on the runner class the gate compares against. Usage:
+#
+#	make promote-baseline RUN=<ci-run-id>
+#
+# then review and commit bench/baseline.json.
+promote-baseline:
+ifndef RUN
+	$(error usage: make promote-baseline RUN=<ci-run-id>)
+endif
+	gh run download $(RUN) -n bench-baseline -D bench
+	git add bench/baseline.json
+	@echo "bench/baseline.json staged; commit it to arm the regression gate"

@@ -4,7 +4,6 @@ import (
 	"context"
 	"slices"
 	"sort"
-	"time"
 
 	"twoview/internal/bitset"
 	"twoview/internal/dataset"
@@ -73,7 +72,7 @@ type ExactOptions struct {
 // alongside ctx.Err(). With an uncancelled context the result is
 // bit-identical for every worker count and the error is nil.
 func MineExact(ctx context.Context, d *dataset.Dataset, opt ExactOptions) (*Result, error) {
-	start := time.Now()
+	elapsed := stopwatch()
 	coder := mdl.NewCoder(d)
 	s := NewState(d, coder)
 	res := &Result{State: s}
@@ -98,7 +97,7 @@ func MineExact(ctx context.Context, d *dataset.Dataset, opt ExactOptions) (*Resu
 		}
 	}
 	res.Table = s.Table()
-	res.Runtime = time.Since(start)
+	res.Runtime = elapsed()
 	return res, err
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"slices"
-	"time"
 
 	"twoview/internal/dataset"
 	"twoview/internal/mdl"
@@ -83,7 +82,7 @@ type greedyScore struct {
 // uncancelled context the result is bit-identical for every worker
 // count and the error is nil.
 func MineGreedy(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt GreedyOptions) (*Result, error) {
-	start := time.Now()
+	elapsed := stopwatch()
 	coder := mdl.NewCoder(d)
 	s := NewState(d, coder)
 	res := &Result{State: s}
@@ -185,7 +184,7 @@ func MineGreedy(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt 
 	}
 	opt.putScratch(scr)
 	res.Table = s.Table()
-	res.Runtime = time.Since(start)
+	res.Runtime = elapsed()
 	return res, err
 }
 

@@ -72,3 +72,16 @@ func (res *Result) record(s *State, r Rule, gain float64, trace TraceFunc, onIte
 // gainEpsilon guards against accepting rules whose gain is positive only
 // through floating-point noise.
 const gainEpsilon = 1e-9
+
+// stopwatch starts timing and returns a function reporting the elapsed
+// wall time. It is the single sanctioned wall-clock read in this
+// package: the duration lands in Result.Runtime, which is observational
+// metadata and never feeds back into a mining decision, so confining
+// time.Now/Since here keeps the nowallclock invariant auditable at one
+// site.
+func stopwatch() func() time.Duration {
+	start := time.Now() //lint:wallclock-ok observational: feeds Result.Runtime only, never a mining decision
+	return func() time.Duration {
+		return time.Since(start) //lint:wallclock-ok observational: feeds Result.Runtime only, never a mining decision
+	}
+}

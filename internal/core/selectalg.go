@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"sort"
-	"time"
 
 	"twoview/internal/dataset"
 	"twoview/internal/mdl"
@@ -55,7 +54,7 @@ type scoredRule struct {
 // uncancelled context the result is bit-identical for every worker
 // count and the error is nil.
 func MineSelect(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt SelectOptions) (*Result, error) {
-	start := time.Now()
+	elapsed := stopwatch()
 	if opt.K < 1 {
 		opt.K = 1
 	}
@@ -161,7 +160,7 @@ func MineSelect(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt 
 	sc.scored = scored // hand the grown capacity back to the pool
 	opt.putScratch(sc)
 	res.Table = s.Table()
-	res.Runtime = time.Since(start)
+	res.Runtime = elapsed()
 	return res, err
 }
 

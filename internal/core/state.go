@@ -175,6 +175,7 @@ func (s *State) gainDir(from dataset.View, tids *bitset.Set, cons itemset.Itemse
 	ucol, ecol := s.ucol[target], s.ecol[target]
 	cols := s.d.Columns(target)
 	gain := 0.0
+	//lint:ctxprobe-ok bounded per-rule work (|cons| kernel calls); callers probe ctx at rule granularity
 	for _, y := range cons {
 		covered := bitset.AndCount(tids, &ucol[y])                // L(Y ∩ U_t) terms
 		errs := bitset.AndNotAndNotCount(tids, cols[y], &ecol[y]) // L(Y \ (t_R ∪ E_t)) terms
@@ -248,6 +249,7 @@ func (s *State) applyDir(from dataset.View, tids *bitset.Set, cons itemset.Items
 	u, e := s.u[target], s.e[target]
 	cols := s.d.Columns(target)
 	tub := s.tub[target]
+	//lint:ctxprobe-ok bounded per-rule work (|cons| kernel calls); AddRule runs between iteration checkpoints
 	for _, y := range cons {
 		l := s.coder.ItemLen(target, y)
 		ucol, ecol := &s.ucol[target][y], &s.ecol[target][y]

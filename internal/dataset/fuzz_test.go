@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,53 @@ func FuzzRead(f *testing.F) {
 			if !d2.Row(Left, i).Equal(d.Row(Left, i)) || !d2.Row(Right, i).Equal(d.Row(Right, i)) {
 				t.Fatal("round trip changed rows")
 			}
+		}
+	})
+}
+
+// FuzzRowReader: the streaming reader must never panic, and on any
+// input that both paths accept it must agree with the materializing
+// Read (which is RowReader run to completion plus range validation).
+func FuzzRowReader(f *testing.F) {
+	f.Add("L\ta\tb\nR\tc\n0 1 | 0\n")
+	f.Add("L\ta\nR\tb\n# comment\n\n0|0\n")
+	f.Add("R\tx\nL\ty\n0 | 0\n") // headers in either order
+	f.Add("L\ta\nL\tb\n")        // duplicate header
+	f.Add("0|0\nL\ta\nR\tb\n")   // row before headers
+	f.Add("L\ta\nR\tb\n0 0\n")   // missing '|' separator
+	f.Add("L\ta\nR\tb\n-1|x\n")  // malformed ids
+	f.Fuzz(func(t *testing.T, input string) {
+		rr := NewRowReader(strings.NewReader(input))
+		namesL, namesR, err := rr.Header()
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rows := 0
+		for {
+			_, _, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			rows++
+			if got := rr.Line(); got < 1 {
+				t.Fatalf("Line() = %d after a parsed row", got)
+			}
+		}
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			// Read layers range validation on top of the streamer, so
+			// it may reject what the syntax-only streamer accepted.
+			return
+		}
+		if d.Size() != rows {
+			t.Fatalf("streaming read %d rows, Read materialized %d", rows, d.Size())
+		}
+		if d.Items(Left) != len(namesL) || d.Items(Right) != len(namesR) {
+			t.Fatalf("vocabulary mismatch: streamed %d/%d items, Read has %d/%d",
+				len(namesL), len(namesR), d.Items(Left), d.Items(Right))
 		}
 	})
 }

@@ -161,7 +161,25 @@ func RunFig7(ctx context.Context, w io.Writer, scale float64) error {
 // mostUsedItem returns the item of view v occurring in the most rules of
 // t, or -1 for an empty table.
 func mostUsedItem(t *core.Table, v dataset.View) int {
-	counts := map[int]int{}
+	// Dense counting slice rather than a map: items are small column
+	// indices, and slice iteration makes the smallest-item tie-break
+	// order-independent by construction (detorder-clean).
+	maxItem := -1
+	for _, r := range t.Rules {
+		side := r.X
+		if v == dataset.Right {
+			side = r.Y
+		}
+		for _, i := range side {
+			if i > maxItem {
+				maxItem = i
+			}
+		}
+	}
+	if maxItem < 0 {
+		return -1
+	}
+	counts := make([]int, maxItem+1)
 	for _, r := range t.Rules {
 		side := r.X
 		if v == dataset.Right {
@@ -173,7 +191,7 @@ func mostUsedItem(t *core.Table, v dataset.View) int {
 	}
 	best, bestN := -1, 0
 	for i, n := range counts {
-		if n > bestN || (n == bestN && best >= 0 && i < best) {
+		if n > bestN {
 			best, bestN = i, n
 		}
 	}

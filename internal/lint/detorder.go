@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder guards the repo's first contract: miners return bit-identical
+// tables for any worker count, and everything downstream of them
+// (facades, figure/table rendering) must preserve that determinism. A
+// single `range` over a map in a result-producing path silently breaks
+// it — Go randomizes map iteration order per run — which is exactly the
+// class of bug the PR 1–4 merge discipline (determinism property tests
+// at workers ∈ {1,2,4,7}) exists to catch after the fact. Detorder
+// rejects it at lint time instead.
+//
+// The fix is to iterate a sorted key slice (see
+// internal/dataset/discretize.go for the idiomatic pattern) or, when
+// the loop is genuinely order-insensitive (a commutative reduction),
+// to justify the site with //lint:nondeterministic-ok <reason>.
+var Detorder = &Analyzer{
+	Name:      "detorder",
+	Directive: "nondeterministic-ok",
+	Doc: "flag map iteration in result-producing packages " +
+		"(internal/core, internal/mine, internal/pool, internal/eval, the facades); " +
+		"map order is randomized per run, so any map range that can influence " +
+		"emitted results breaks the bit-identical-tables contract. " +
+		"Iterate sorted keys, or annotate with //lint:nondeterministic-ok <reason>.",
+	Run: runDetorder,
+}
+
+// detorderScopes are the result-producing packages: the mining core and
+// candidate walk, the worker pool (its merges define result order), the
+// experiment/figure renderers (their output is the reproduced paper),
+// and the public facades. Parsers, bit-kernels and baselines are out of
+// scope: their maps are lookups or feed order-insensitive summaries.
+var detorderScopes = []string{"", "internal/core", "internal/mine", "internal/pool", "internal/eval"}
+
+func runDetorder(pass *Pass) error {
+	if !hasScope(pass.Pkg.Path(), detorderScopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if rng.Key == nil && rng.Value == nil {
+				// `for range m {}` runs the body len(m) times with no
+				// key exposure; nothing order-dependent can leak.
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.report(rng.Pos(),
+					"map iteration order is nondeterministic and this package produces results; "+
+						"iterate a sorted key slice, or annotate //lint:nondeterministic-ok <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Freelistown enforces the bitset.FreeList ownership rule from PR 3: a
+// Set handed to Put is owned by the free-list — the next Get may return
+// it with different contents — so (1) the same variable must not be Put
+// twice on one control-flow path, and (2) a value that has escaped the
+// function as part of an emitted result (stored into a struct field or
+// composite literal, appended to an output slice, returned) must never
+// be Put afterwards. Violating either silently corrupts a *different*
+// node's tidset later in the walk, the nastiest-to-bisect class of bug
+// the allocation-free ECLAT walk can produce.
+//
+// The analysis is an intraprocedural abstract walk over the control
+// flow: the per-path state tracks which variables the free-list
+// currently owns (released) and which have escaped into results;
+// branch joins union the states of the arms that can fall through, and
+// loop bodies are walked twice so back-edge violations surface. Sites
+// where a boolean guard provably separates the escape from the Put
+// (the `retained` dance in the ECLAT walk) carry //lint:freelistown-ok.
+var Freelistown = &Analyzer{
+	Name:      "freelistown",
+	Directive: "freelistown-ok",
+	Doc: "enforce free-list ownership: no double-Put of one variable on a " +
+		"control-flow path, and no Put after the value escaped via an emitted " +
+		"result. Guarded hand-offs the analysis cannot see through carry " +
+		"//lint:freelistown-ok <reason>.",
+	Run: runFreelistown,
+}
+
+func runFreelistown(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Functions without a FreeList.Put have nothing to violate.
+			hasPut := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, ok := pass.freeListPutArg(call); ok {
+						hasPut = true
+					}
+				}
+				return !hasPut
+			})
+			if !hasPut {
+				continue
+			}
+			w := &freelistWalker{pass: pass, reported: map[token.Pos]bool{}}
+			w.walkBlock(fd.Body.List, newOwnState())
+		}
+	}
+	return nil
+}
+
+// freeListPutArg matches calls of bitset.FreeList.Put with a plain
+// variable argument.
+func (p *Pass) freeListPutArg(call *ast.CallExpr) (*types.Var, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil, false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "FreeList" {
+		return nil, false
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || !isBitsetPath(pkg.Path()) {
+		return nil, false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := p.ObjectOf(id).(*types.Var)
+	return v, ok
+}
+
+func isBitsetPath(path string) bool {
+	return path == "bitset" || len(path) > 7 && path[len(path)-7:] == "/bitset"
+}
+
+// ownState is the per-path abstract state of the walk.
+type ownState struct {
+	released map[*types.Var]bool // owned by the free-list since the last (re)assignment
+	escaped  map[*types.Var]bool // stored into an emitted result on this path
+}
+
+func newOwnState() *ownState {
+	return &ownState{released: map[*types.Var]bool{}, escaped: map[*types.Var]bool{}}
+}
+
+func (s *ownState) clone() *ownState {
+	out := newOwnState()
+	for k, v := range s.released {
+		out.released[k] = v
+	}
+	for k, v := range s.escaped {
+		out.escaped[k] = v
+	}
+	return out
+}
+
+// merge unions src into s: a variable released or escaped on any arm
+// that can fall through stays released/escaped afterwards.
+func (s *ownState) merge(src *ownState) {
+	for k, v := range src.released {
+		if v {
+			s.released[k] = true
+		}
+	}
+	for k, v := range src.escaped {
+		if v {
+			s.escaped[k] = true
+		}
+	}
+}
+
+// freelistWalker runs the branch-aware ownership walk. Reports are
+// deduplicated by position (loop bodies are walked twice).
+type freelistWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+// walkBlock walks stmts, mutating st. It returns true when control
+// cannot fall out of the list (return / break / continue / goto /
+// panic / all arms terminate).
+func (w *freelistWalker) walkBlock(stmts []ast.Stmt, st *ownState) bool {
+	for _, stmt := range stmts {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *freelistWalker) walkStmt(stmt ast.Stmt, st *ownState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			w.handlePut(call, st)
+		}
+		w.scanEscapes(s.X, st)
+	case *ast.DeferStmt:
+		w.handlePut(s.Call, st)
+		w.scanEscapes(s.Call, st)
+	case *ast.AssignStmt:
+		// Pairwise stores into selectors/indices escape the RHS ident;
+		// composite literals anywhere in the RHS capture their idents.
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				switch s.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					w.markEscape(s.Rhs[i], st)
+				}
+			}
+		}
+		for _, rhs := range s.Rhs {
+			w.scanEscapes(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v, ok := w.pass.ObjectOf(id).(*types.Var); ok {
+					// Reassigned: the variable now names a fresh value the
+					// caller owns; prior release/escape no longer applies.
+					delete(st.released, v)
+					delete(st.escaped, v)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkBlock(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanEscapes(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.walkBlock(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		if !thenTerm {
+			st.merge(thenSt)
+		}
+		if !elseTerm {
+			st.merge(elseSt)
+		}
+		return thenTerm && elseTerm && s.Else != nil
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkLoopBody(s.Body, st)
+	case *ast.RangeStmt:
+		w.walkLoopBody(s.Body, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				body = cc.Body
+			case *ast.CommClause:
+				body = cc.Body
+			}
+			caseSt := st.clone()
+			if !w.walkBlock(body, caseSt) {
+				st.merge(caseSt)
+			}
+		}
+	}
+	return false
+}
+
+// walkLoopBody walks a loop body twice: the first pass establishes the
+// per-iteration state, the second catches violations that only appear
+// through the back edge (a Put or escape of a variable not re-obtained
+// before the next iteration).
+func (w *freelistWalker) walkLoopBody(body *ast.BlockStmt, st *ownState) {
+	first := st.clone()
+	w.walkBlock(body.List, first)
+	second := first.clone()
+	w.walkBlock(body.List, second)
+	st.merge(second)
+}
+
+func (w *freelistWalker) handlePut(call *ast.CallExpr, st *ownState) {
+	v, ok := w.pass.freeListPutArg(call)
+	if !ok {
+		return
+	}
+	switch {
+	case st.escaped[v] && !w.reported[call.Pos()]:
+		w.reported[call.Pos()] = true
+		w.pass.report(call.Pos(),
+			"%s escaped into an emitted result on this path and is now recycled with FreeList.Put; "+
+				"emitted values must never be recycled (the next Get would alias them)", v.Name())
+	case st.released[v] && !w.reported[call.Pos()]:
+		w.reported[call.Pos()] = true
+		w.pass.report(call.Pos(),
+			"possible double-Put of %s: the free-list may already own it, and a double-Put "+
+				"aliases the next two Gets to one Set", v.Name())
+	}
+	st.released[v] = true
+}
+
+// markEscape records the escape of a plain-identifier expression.
+func (w *freelistWalker) markEscape(e ast.Expr, st *ownState) {
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := w.pass.ObjectOf(id).(*types.Var); ok {
+			st.escaped[v] = true
+		}
+	}
+}
+
+// scanEscapes marks idents captured by composite literals or appended
+// to slices anywhere inside expression e.
+func (w *freelistWalker) scanEscapes(e ast.Expr, st *ownState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				w.markEscape(val, st)
+			}
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range node.Args[1:] {
+					w.markEscape(arg, st)
+				}
+			}
+		}
+		return true
+	})
+}

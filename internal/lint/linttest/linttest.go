@@ -1,0 +1,90 @@
+// Package linttest is the `// want`-comment harness for the
+// internal/lint analyzers, in the style of
+// golang.org/x/tools/go/analysis/analysistest: a fixture package under
+// testdata/ marks each line expected to be flagged with a trailing
+//
+//	// want `regexp`
+//
+// comment. Run loads the fixture ad hoc (the go tool ignores testdata
+// directories, so the fixtures never build or vet with the module),
+// runs one analyzer over it, and fails the test on any missing or
+// unexpected diagnostic. Fixtures may import real module packages
+// (twoview/internal/bitset and friends); the loader type-checks them
+// from source.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"twoview/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run checks analyzer a against the fixture package in dir.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	loader := &lint.Loader{}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, e := range wants[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, e.re)
+			}
+		}
+	}
+}
+
+// collectWants maps "file:line" to the expectations declared on that
+// line of the fixture.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+	}
+	return wants
+}

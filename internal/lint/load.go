@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path   string // import path ("twoview/internal/core"), or the directory for ad-hoc loads
+	Dir    string
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Loader loads and type-checks packages with one shared FileSet and
+// one shared importer, so dependencies (stdlib and module-internal)
+// are type-checked once per process, not once per package.
+//
+// Type checking uses the stdlib source importer, which resolves module
+// import paths by consulting the go command; the loader therefore
+// must run with the module root as working directory (cmd/twovet and
+// the tests both do).
+type Loader struct {
+	Dir  string // module root; "" means the current directory
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func (l *Loader) init() {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.imp = importer.ForCompiler(l.fset, "source", nil)
+	}
+}
+
+// Load resolves the patterns and type-checks every matched package.
+// A pattern naming an existing directory is loaded ad hoc (this is how
+// the testdata fixture packages, invisible to `go list`, are loaded);
+// anything else is passed to `go list`.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	var pkgs []*Package
+	var listPatterns []string
+	for _, pat := range patterns {
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.Dir, pat)
+		}
+		if st, err := os.Stat(dir); err == nil && st.IsDir() && !strings.Contains(pat, "...") {
+			p, err := l.loadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+			continue
+		}
+		listPatterns = append(listPatterns, pat)
+	}
+	if len(listPatterns) > 0 {
+		listed, err := l.goList(listPatterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, li := range listed {
+			p, err := l.check(li.ImportPath, li.Dir, li.files())
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir without consulting `go
+// list`, so directories the go tool ignores (testdata fixtures) load
+// too. The package path is the cleaned directory path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.init()
+	return l.loadDir(dir)
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(filepath.Clean(dir), dir, files)
+}
+
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, parsed)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Syntax: syntax, Types: tpkg, Info: info}, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+func (li *listedPackage) files() []string {
+	out := make([]string, 0, len(li.GoFiles))
+	for _, f := range li.GoFiles {
+		out = append(out, filepath.Join(li.Dir, f))
+	}
+	return out
+}
+
+func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

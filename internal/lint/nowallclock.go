@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nowallclock keeps timing and randomness out of the packages whose
+// outputs must be pure functions of (dataset, options): the mining
+// core, the candidate walk, the bit kernels, the coder, the itemset
+// utilities and the worker pool. A time.Now-derived value or a
+// math/rand draw that leaks into a mined table makes runs unreproducible
+// in a way no worker-count sweep can catch. Observational timing (the
+// reported Result.Runtime metric) is confined to a single annotated
+// helper (core.stopwatch) rather than scattered call sites.
+var Nowallclock = &Analyzer{
+	Name:      "nowallclock",
+	Directive: "wallclock-ok",
+	Doc: "forbid time.Now/time.Since and math/rand in the mining, kernel " +
+		"and translator packages (internal/core, internal/mine, internal/bitset, " +
+		"internal/itemset, internal/mdl, internal/pool) outside _test.go files: " +
+		"timing and randomness must never influence mined tables. " +
+		"Purely observational sites carry //lint:wallclock-ok <reason>.",
+	Run: runNowallclock,
+}
+
+var nowallclockScopes = []string{
+	"internal/core", "internal/mine", "internal/bitset",
+	"internal/itemset", "internal/mdl", "internal/pool",
+}
+
+// wallClockFuncs are the forbidden time package entry points. Duration
+// arithmetic and constants are fine; only reading the clock is not.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNowallclock(pass *Pass) error {
+	if !hasScope(pass.Pkg.Path(), nowallclockScopes...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.report(imp.Pos(),
+					"math/rand in a determinism-critical package: randomness must never influence mined results")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); isFunc && wallClockFuncs[obj.Name()] {
+				pass.report(sel.Pos(),
+					"time.%s in a determinism-critical package: wall-clock values must never influence mined results "+
+						"(annotate //lint:wallclock-ok <reason> for purely observational metrics)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package broken deliberately violates multiple twovet invariants; the
+// cmd/twovet meta-test asserts the multichecker exits non-zero on it.
+package broken
+
+import "time"
+
+// Emit trips detorder (map range in a result path) and nowallclock
+// (reading the clock).
+func Emit(m map[string]int) (string, time.Time) {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out, time.Now()
+}

@@ -1,0 +1,43 @@
+// Package ctxprobe exercises the ctxprobe analyzer on loops driving
+// bitset kernels: a kernel loop needs a cancellation checkpoint.
+package ctxprobe
+
+import (
+	"context"
+
+	"twoview/internal/bitset"
+)
+
+// Flagged: unbounded kernel loop with no cancellation checkpoint.
+func Sum(sets []*bitset.Set, q *bitset.Set) int {
+	total := 0
+	for _, s := range sets { // want `without a cancellation checkpoint`
+		total += bitset.AndCount(s, q)
+	}
+	return total
+}
+
+// Allowed: masked ctx probe inside the loop body.
+func SumProbed(ctx context.Context, sets []*bitset.Set, q *bitset.Set) (int, error) {
+	const ctxProbeMask = 1<<10 - 1
+	total := 0
+	for i, s := range sets {
+		if i&ctxProbeMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += bitset.AndCount(s, q)
+	}
+	return total, nil
+}
+
+// Allowed: bounded loop justified by annotation.
+func SumSmall(sets []*bitset.Set, q *bitset.Set) int {
+	total := 0
+	//lint:ctxprobe-ok fixture: bounded by construction
+	for _, s := range sets {
+		total += bitset.AndCount(s, q)
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package detorder exercises the detorder analyzer: map ranges in
+// result-producing code are flagged unless key order cannot leak or the
+// site is justified with //lint:nondeterministic-ok.
+package detorder
+
+// Flagged: the emitted string depends on map iteration order.
+func Joined(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration order is nondeterministic`
+		out += k
+	}
+	return out
+}
+
+// Allowed: `for range` exposes no key, nothing order-dependent leaks.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Allowed: commutative reduction, justified by annotation.
+func Sum(m map[string]int) int {
+	n := 0
+	//lint:nondeterministic-ok commutative integer sum, order cannot leak
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

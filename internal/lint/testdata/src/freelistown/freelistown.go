@@ -1,0 +1,60 @@
+// Package freelistown exercises the freelistown analyzer on
+// bitset.FreeList ownership: no double-Put on one path, no Put after
+// the value escaped into an emitted result.
+package freelistown
+
+import "twoview/internal/bitset"
+
+type emitter struct {
+	free bitset.FreeList
+	out  []*bitset.Set
+}
+
+// Flagged: both arms of the branch fall through to the second Put.
+func (e *emitter) Double(cond bool) {
+	s := e.free.Get(64)
+	if cond {
+		e.free.Put(s)
+	}
+	e.free.Put(s) // want `double-Put`
+}
+
+// Flagged: s escaped into the emitted slice before the Put.
+func (e *emitter) Emit() {
+	s := e.free.Get(64)
+	e.out = append(e.out, s)
+	e.free.Put(s) // want `escaped into an emitted result`
+}
+
+// Allowed: the escaping path returns before the Put.
+func (e *emitter) EmitOrRecycle(keep bool) {
+	s := e.free.Get(64)
+	if keep {
+		e.out = append(e.out, s)
+		return
+	}
+	e.free.Put(s)
+}
+
+// Allowed: reassignment between the Puts hands s a fresh value.
+func (e *emitter) Reuse() {
+	s := e.free.Get(64)
+	e.free.Put(s)
+	s = e.free.Get(128)
+	e.free.Put(s)
+}
+
+// Allowed: a boolean guard the analysis cannot see through, justified
+// by annotation (the ECLAT `retained` pattern).
+func (e *emitter) Guarded(keep bool) {
+	s := e.free.Get(64)
+	retained := false
+	if keep {
+		e.out = append(e.out, s)
+		retained = true
+	}
+	if !retained {
+		//lint:freelistown-ok fixture: retained guards the hand-off
+		e.free.Put(s)
+	}
+}

@@ -1,0 +1,25 @@
+// Package nowallclock exercises the nowallclock analyzer: clock reads
+// and math/rand imports are flagged in determinism-critical code.
+package nowallclock
+
+import (
+	"math/rand" // want `math/rand in a determinism-critical package`
+	"time"
+)
+
+// Flagged twice: reading the clock.
+func Stamp() time.Duration {
+	start := time.Now()      // want `time.Now in a determinism-critical package`
+	return time.Since(start) // want `time.Since in a determinism-critical package`
+}
+
+func Draw() int { return rand.Intn(7) }
+
+// Allowed: duration arithmetic without reading the clock.
+func Budget(d time.Duration) time.Duration { return 2 * d }
+
+// Allowed: observational site justified by annotation.
+func Observe() time.Time {
+	//lint:wallclock-ok fixture: observational metric only
+	return time.Now()
+}

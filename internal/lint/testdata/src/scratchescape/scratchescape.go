@@ -1,0 +1,67 @@
+// Package scratchescape exercises the scratchescape analyzer: values
+// borrowed from a sync.Pool or a getScratch wrapper must not outlive
+// the borrow window.
+package scratchescape
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new(buffer) }}
+
+type buffer struct{ words []uint64 }
+
+type holder struct{ scratch *buffer }
+
+var leaked *buffer
+
+// Flagged: returning a pooled borrow.
+func Borrow() *buffer {
+	b := pool.Get().(*buffer)
+	return b // want `must not be returned`
+}
+
+// Flagged: storing a borrow into a struct field.
+func (h *holder) Attach() {
+	b := pool.Get().(*buffer)
+	h.scratch = b // want `must not be stored into a field`
+	pool.Put(b)
+}
+
+// Flagged: storing a borrow into a package variable.
+func Leak() {
+	b := pool.Get().(*buffer)
+	leaked = b // want `package variable`
+	pool.Put(b)
+}
+
+// Flagged: capturing a borrow in a composite literal.
+func Wrap() {
+	b := pool.Get().(*buffer)
+	h := holder{scratch: b} // want `composite literal`
+	_ = h
+	pool.Put(b)
+}
+
+// Allowed: use confined to the borrow/Put window.
+func Sum() int {
+	b := pool.Get().(*buffer)
+	defer pool.Put(b)
+	n := 0
+	for _, w := range b.words {
+		n += int(w)
+	}
+	return n
+}
+
+// Allowed: the blessed wrapper returns its fresh borrow.
+func getScratch() *buffer {
+	b := pool.Get().(*buffer)
+	return b
+}
+
+// Allowed: wrapper borrows are tracked too; the annotation records the
+// deliberate ownership transfer.
+func Handoff() *buffer {
+	b := getScratch()
+	//lint:scratchescape-ok fixture: caller assumes the Put obligation
+	return b
+}

@@ -296,6 +296,7 @@ func (m *miner) branch(cur itemset.Itemset, tids *bitset.Set, k, depth int) erro
 	}
 	err := m.dfs(next, child, k+1, depth+1)
 	if !retained {
+		//lint:freelistown-ok retained is set exactly when fi.Tids captured child, so this Put never recycles an emitted tidset
 		m.free.Put(child)
 	}
 	return err
