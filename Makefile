@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test lint fuzz-smoke promote-baseline
+.PHONY: test lint fuzz-smoke bench-kernels promote-baseline
 
 # The tier-1 gate: everything CI's build/test steps enforce.
 test:
@@ -19,6 +19,17 @@ lint:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRowReader -fuzztime=30s ./internal/dataset
 	$(GO) test -fuzz=FuzzReadTable -fuzztime=30s ./internal/core
+
+# Striped-vs-scalar kernel comparison: the same bitset and pool
+# benchmarks under the default (striped) build and under the
+# -tags bitset_scalar differential build, back to back. Diff the two
+# outputs (or feed them to benchstat) to read the stripe speedups.
+BENCH_KERNELS = BenchmarkAndCount|BenchmarkAndNot|BenchmarkIntersectInto|BenchmarkWeightedSum|BenchmarkCount|BenchmarkEqual|BenchmarkSubsetOf|BenchmarkPhaseHandoff
+bench-kernels:
+	@echo '=== striped (default build) ==='
+	$(GO) test -run='^$$' -bench '$(BENCH_KERNELS)' -benchtime 200ms -count 3 ./internal/bitset/ ./internal/pool/
+	@echo '=== scalar (-tags bitset_scalar) ==='
+	$(GO) test -tags bitset_scalar -run='^$$' -bench '$(BENCH_KERNELS)' -benchtime 200ms -count 3 ./internal/bitset/ ./internal/pool/
 
 # Arm (or re-anchor) the benchmark regression gate from a green CI run:
 # every run uploads a promotion-ready bench-baseline artifact recorded

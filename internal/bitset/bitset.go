@@ -2,6 +2,15 @@
 // repository both as transaction tidsets (one bit per transaction) and as
 // item rows (one bit per item of a view). All operations are word-wise on
 // 64-bit words; none allocate unless explicitly documented.
+//
+// Every kernel and set operation runs on a shared layer of word cores
+// that, above a measured width gate, process 4-word stripes per
+// iteration with a scalar tail, and below it run the plain one-word
+// loop (see kernels_striped.go). Building with `-tags bitset_scalar`
+// swaps in the original one-word loops as a differential reference;
+// the exported signatures and all results — including the bit-exact
+// float accumulation order of IntersectIntoSum and WeightedSum — are
+// identical under both builds.
 package bitset
 
 import (
@@ -92,11 +101,7 @@ func (s *Set) check(i int) {
 
 // Count returns the number of set bits.
 func (s *Set) Count() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return countWords(s.words)
 }
 
 // Empty reports whether no bit is set.
@@ -172,33 +177,25 @@ func (s *Set) mustMatch(o *Set) {
 // And sets s = s ∩ o.
 func (s *Set) And(o *Set) {
 	s.mustMatch(o)
-	for i := range s.words {
-		s.words[i] &= o.words[i]
-	}
+	andWords(s.words, o.words)
 }
 
-// Or sets s = s ∪ o.
+// Or sets s = s ∪ o (set union).
 func (s *Set) Or(o *Set) {
 	s.mustMatch(o)
-	for i := range s.words {
-		s.words[i] |= o.words[i]
-	}
+	orWords(s.words, o.words)
 }
 
-// AndNot sets s = s \ o.
+// AndNot sets s = s \ o (set subtraction).
 func (s *Set) AndNot(o *Set) {
 	s.mustMatch(o)
-	for i := range s.words {
-		s.words[i] &^= o.words[i]
-	}
+	andNotWords(s.words, o.words)
 }
 
 // Xor sets s = s △ o (symmetric difference).
 func (s *Set) Xor(o *Set) {
 	s.mustMatch(o)
-	for i := range s.words {
-		s.words[i] ^= o.words[i]
-	}
+	xorWords(s.words, o.words)
 }
 
 // IntersectInto sets dst = a ∩ b, reusing dst's storage. All three must have
@@ -206,29 +203,42 @@ func (s *Set) Xor(o *Set) {
 func IntersectInto(dst, a, b *Set) {
 	a.mustMatch(b)
 	a.mustMatch(dst)
-	for i := range dst.words {
-		dst.words[i] = a.words[i] & b.words[i]
-	}
+	intersectWords(dst.words, a.words, b.words)
 }
 
 // IntersectIntoSum sets dst = a ∩ b like IntersectInto and returns
 // Σ_{i ∈ dst} w[i], accumulated in ascending bit order — the same order
 // as ForEach, so the sum is bit-identical to iterating the intersection
-// after the fact. w must cover the set width. Fusing the intersection
-// with the weighted sum saves the hot search loops a second pass over
-// the words (the exact search's rub bound is a tub-weighted sum over
-// every freshly intersected tidset).
+// after the fact. The striped core only unrolls the word intersection;
+// the accumulation is still one addition per set bit in ascending bit
+// order, so the float result is bit-identical under both kernel builds
+// (that identity is part of the contract — the exact search's rub
+// bounds must not depend on the kernel build). w must cover the set
+// width. Fusing the intersection with the weighted sum saves the hot
+// search loops a second pass over the words (the exact search's rub
+// bound is a tub-weighted sum over every freshly intersected tidset).
 func IntersectIntoSum(dst, a, b *Set, w []float64) float64 {
 	a.mustMatch(b)
 	a.mustMatch(dst)
-	total := 0.0
-	for i := range dst.words {
-		word := a.words[i] & b.words[i]
-		dst.words[i] = word
-		for word != 0 {
-			total += w[i*wordBits+bits.TrailingZeros64(word)]
-			word &= word - 1
-		}
+	return intersectSumWords(dst.words, a.words, b.words, w)
+}
+
+// WeightedSum returns Σ_{i ∈ s} w[i], accumulated in ascending bit
+// order — one addition per set bit, same association under both kernel
+// builds, so the float result is bit-identical by contract. w must
+// cover the set width. It is the kernel behind the cover state's
+// tub-weighted sums (core.State.SumTub).
+func WeightedSum(s *Set, w []float64) float64 {
+	return weightedSumWords(s.words, w)
+}
+
+// addWeighted folds w[base+j] into total for every set bit j of word,
+// in ascending bit order, one addition at a time. Shared by both kernel
+// builds so the accumulation association is identical by construction.
+func addWeighted(total float64, word uint64, w []float64, base int) float64 {
+	for word != 0 {
+		total += w[base+bits.TrailingZeros64(word)]
+		word &= word - 1
 	}
 	return total
 }
@@ -238,21 +248,13 @@ func IntersectIntoSum(dst, a, b *Set, w []float64) float64 {
 // "items that become covered" count.
 func AndCount(a, b *Set) int {
 	a.mustMatch(b)
-	c := 0
-	for i := range a.words {
-		c += bits.OnesCount64(a.words[i] & b.words[i])
-	}
-	return c
+	return andCountWords(a.words, b.words)
 }
 
 // AndNotCount returns |a \ b| in one fused pass.
 func AndNotCount(a, b *Set) int {
 	a.mustMatch(b)
-	c := 0
-	for i := range a.words {
-		c += bits.OnesCount64(a.words[i] &^ b.words[i])
-	}
-	return c
+	return andNotCountWords(a.words, b.words)
 }
 
 // AndNotAndNotCount returns |a \ (b ∪ c)| in one fused pass: no
@@ -265,53 +267,46 @@ func AndNotCount(a, b *Set) int {
 func AndNotAndNotCount(a, b, c *Set) int {
 	a.mustMatch(b)
 	a.mustMatch(c)
-	n := 0
-	for i := range a.words {
-		n += bits.OnesCount64(a.words[i] &^ b.words[i] &^ c.words[i])
-	}
-	return n
+	return andNotAndNotCountWords(a.words, b.words, c.words)
 }
 
-// Equal reports whether s and o contain exactly the same bits.
+// Equal reports whether s and o contain exactly the same bits. It
+// early-exits on the first differing stripe.
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {
 		return false
 	}
-	for i := range s.words {
-		if s.words[i] != o.words[i] {
-			return false
-		}
-	}
-	return true
+	return equalWords(s.words, o.words)
 }
 
-// SubsetOf reports whether every bit of s is also set in o.
+// SubsetOf reports whether every bit of s is also set in o. It
+// early-exits on the first violating stripe.
 func (s *Set) SubsetOf(o *Set) bool {
 	s.mustMatch(o)
-	for i := range s.words {
-		if s.words[i]&^o.words[i] != 0 {
-			return false
-		}
-	}
-	return true
+	return subsetWords(s.words, o.words)
 }
 
-// Intersects reports whether s and o share at least one bit.
+// Intersects reports whether s and o share at least one bit. It
+// early-exits on the first intersecting stripe.
 func (s *Set) Intersects(o *Set) bool {
 	s.mustMatch(o)
-	for i := range s.words {
-		if s.words[i]&o.words[i] != 0 {
-			return true
-		}
-	}
-	return false
+	return intersectsWords(s.words, o.words)
 }
 
-// ContainsAll reports whether every index in idx is set. idx must be within
-// range; it does not need to be sorted.
+// ContainsAll reports whether every index in idx is set, exiting on the
+// first missing one. idx must be within range; it does not need to be
+// sorted, but sorted slices (itemsets are kept sorted) probe each
+// 64-bit word once instead of once per index.
 func (s *Set) ContainsAll(idx []int) bool {
+	words := s.words
+	wi := -1
+	var w uint64
 	for _, i := range idx {
-		if !s.Contains(i) {
+		s.check(i)
+		if j := i / wordBits; j != wi {
+			wi, w = j, words[j]
+		}
+		if w&(1<<uint(i%wordBits)) == 0 {
 			return false
 		}
 	}

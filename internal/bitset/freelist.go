@@ -10,12 +10,20 @@ package bitset
 // the caller — the next Get may return it with different contents. Sets
 // that escape to a caller (emitted results) must simply never be Put.
 //
+// In practice one walk uses a single width, so the first size class a
+// FreeList sees is kept in inline fields: the Get/Put pair on the walk's
+// innermost branch costs two slice operations, no map access. Any other
+// classes (a re-used FreeList after a dataset changed width) fall back
+// to a map.
+//
 // A FreeList is not safe for concurrent use; parallel walks keep one
 // per worker. The zero value is ready to use.
 type FreeList struct {
-	// classes[w] holds recycled sets whose word capacity is exactly w.
-	// In practice one walk uses a single width, so the map has one
-	// entry and lookups stay cheap.
+	hotW int    // word capacity of the inline class; 0 = unset
+	hot  []*Set // recycled sets of word capacity hotW
+
+	// classes[w] holds recycled sets whose word capacity is exactly w,
+	// for the rare widths beyond the inline class.
 	classes map[int][]*Set
 }
 
@@ -25,6 +33,14 @@ type FreeList struct {
 // words (IntersectInto, Copy); call Reset or Clear first otherwise.
 func (f *FreeList) Get(n int) *Set {
 	w := (n + wordBits - 1) / wordBits
+	if w == f.hotW && len(f.hot) > 0 {
+		s := f.hot[len(f.hot)-1]
+		f.hot[len(f.hot)-1] = nil
+		f.hot = f.hot[:len(f.hot)-1]
+		s.words = s.words[:w]
+		s.n = n
+		return s
+	}
 	if list := f.classes[w]; len(list) > 0 {
 		s := list[len(list)-1]
 		list[len(list)-1] = nil
@@ -41,17 +57,22 @@ func (f *FreeList) Put(s *Set) {
 	if s == nil || cap(s.words) == 0 {
 		return
 	}
+	w := cap(s.words)
+	if f.hotW == w || f.hotW == 0 {
+		f.hotW = w
+		f.hot = append(f.hot, s)
+		return
+	}
 	if f.classes == nil {
 		f.classes = make(map[int][]*Set)
 	}
-	w := cap(s.words)
 	f.classes[w] = append(f.classes[w], s)
 }
 
 // Len returns the total number of recycled sets currently held, for
 // tests and diagnostics.
 func (f *FreeList) Len() int {
-	n := 0
+	n := len(f.hot)
 	for _, list := range f.classes {
 		n += len(list)
 	}

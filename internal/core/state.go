@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/bits"
 
 	"twoview/internal/bitset"
 	"twoview/internal/dataset"
@@ -146,18 +145,10 @@ func (s *State) Tub(target dataset.View, t int) float64 { return s.tub[target][t
 
 // SumTub returns Σ_{t ∈ tids} tub(t) for the target view, accumulated in
 // ascending transaction order (the same order ForEach would visit, so
-// the value is bit-identical to the closure-based walk it replaced).
+// the value is bit-identical to the closure-based walk it replaced —
+// WeightedSum guarantees that order under both kernel builds).
 func (s *State) SumTub(target dataset.View, tids *bitset.Set) float64 {
-	total := 0.0
-	tub := s.tub[target]
-	for wi, w := range tids.Words() {
-		base := wi * bitset.WordBits
-		for w != 0 {
-			total += tub[base+bits.TrailingZeros64(w)]
-			w &= w - 1
-		}
-	}
-	return total
+	return bitset.WeightedSum(tids, s.tub[target])
 }
 
 // gainDir computes Δ_{D|T} for one direction of a rule (Equation 2): the

@@ -40,11 +40,12 @@ var poolPhaseFuncs = map[string]bool{
 	"MapChunksIntoOn": true, "MapChunksIntoCtxOn": true,
 }
 
-// kernelFuncs are the fused word-loop kernels of internal/bitset; a
-// loop over kernel calls is a gain/update hot path.
+// kernelFuncs are the fused word-loop kernels of internal/bitset (the
+// striped-core entry points of kernels_striped.go); a loop over kernel
+// calls is a gain/update hot path.
 var kernelFuncs = map[string]bool{
 	"AndCount": true, "AndNotCount": true, "AndNotAndNotCount": true,
-	"IntersectInto": true, "IntersectIntoSum": true,
+	"IntersectInto": true, "IntersectIntoSum": true, "WeightedSum": true,
 }
 
 func runCtxprobe(pass *Pass) error {

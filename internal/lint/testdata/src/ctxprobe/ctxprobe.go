@@ -41,3 +41,27 @@ func SumSmall(sets []*bitset.Set, q *bitset.Set) int {
 	}
 	return total
 }
+
+// Flagged: the weighted-sum kernel is a striped-core entry point too.
+func SumWeighted(sets []*bitset.Set, w []float64) float64 {
+	total := 0.0
+	for _, s := range sets { // want `without a cancellation checkpoint`
+		total += bitset.WeightedSum(s, w)
+	}
+	return total
+}
+
+// Allowed: the same weighted-sum loop with a masked ctx probe.
+func SumWeightedProbed(ctx context.Context, sets []*bitset.Set, w []float64) (float64, error) {
+	const ctxProbeMask = 1<<10 - 1
+	total := 0.0
+	for i, s := range sets {
+		if i&ctxProbeMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += bitset.WeightedSum(s, w)
+	}
+	return total, nil
+}

@@ -1,0 +1,142 @@
+package pool
+
+// Stress tests and benchmarks for the cond-parked phase handoff: the
+// wake-all Broadcast that replaced the per-worker channel rendezvous.
+// The failure mode of a broken generation/broadcast protocol is a lost
+// wakeup — a worker parked forever while a phase waits for its helper —
+// which these tests surface as a test-binary timeout; the -race runs in
+// CI additionally check the claim bookkeeping under contention.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Thousands of tiny phases from concurrent submitters on one shared
+// Runtime: the worst case for handoff, every phase pays the full
+// submit/wake/claim/park round trip and the parked set is churning
+// constantly. Every task of every phase must run exactly once.
+func TestHandoffStressTinyPhases(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	const (
+		submitters = 4
+		rounds     = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := NewOn(rt, 3, func(w int) *int { return new(int) })
+			want := 0
+			for round := 0; round < rounds; round++ {
+				tasks := 1 + (g+round)%3
+				want += tasks
+				p.Run(tasks, func(s *int, _ int) { *s++ })
+			}
+			got := 0
+			for _, s := range p.States() {
+				got += *s
+			}
+			if got != want {
+				t.Errorf("submitter %d: ran %d tasks, want %d", g, got, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Panicking and context-cancelled phases interleaved with healthy ones
+// on one Runtime: neither may wedge a parked worker or leak a pending
+// claim that a later phase's helper could swallow.
+func TestHandoffStressPanicAndCancel(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	p := NewOn(rt, 4, func(w int) struct{} { return struct{}{} })
+	for round := 0; round < 200; round++ {
+		switch round % 3 {
+		case 0: // healthy phase
+			var ran atomic.Int64
+			p.Run(16, func(struct{}, int) { ran.Add(1) })
+			if ran.Load() != 16 {
+				t.Fatalf("round %d: %d tasks ran, want 16", round, ran.Load())
+			}
+		case 1: // panicking phase
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("round %d: panic did not propagate", round)
+					}
+				}()
+				p.Run(32, func(_ struct{}, task int) {
+					if task == 7 {
+						panic("handoff stress boom")
+					}
+				})
+			}()
+		case 2: // cancelled phase
+			ctx, cancel := context.WithCancel(context.Background())
+			err := p.RunCtx(ctx, 64, func(_ struct{}, task int) {
+				if task == 3 {
+					cancel()
+				}
+			})
+			cancel()
+			if err != context.Canceled {
+				t.Fatalf("round %d: RunCtx = %v, want context.Canceled", round, err)
+			}
+		}
+	}
+}
+
+// A Runtime reused across sequential pools with full drains in between
+// (the Session lifecycle: mine, idle, mine again) keeps waking its
+// parked workers; spawned workers are reused, not multiplied.
+func TestHandoffRuntimeReuse(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	for session := 0; session < 20; session++ {
+		p := NewOn(rt, 4, func(w int) *int { return new(int) })
+		for round := 0; round < 20; round++ {
+			p.Run(8, func(s *int, _ int) { *s++ })
+		}
+		total := 0
+		for _, s := range p.States() {
+			total += *s
+		}
+		if total != 20*8 {
+			t.Fatalf("session %d: ran %d tasks, want 160", session, total)
+		}
+	}
+	rt.mu.Lock()
+	spawned, demand, pending := rt.spawned, rt.demand, len(rt.pending)
+	rt.mu.Unlock()
+	if spawned > 3 {
+		t.Fatalf("spawned %d workers for 4-slot phases, want <= 3", spawned)
+	}
+	if demand != 0 || pending != 0 {
+		t.Fatalf("after drain: demand=%d pending=%d, want 0/0", demand, pending)
+	}
+}
+
+// BenchmarkPhaseHandoff measures the cost of one empty phase — submit,
+// wake, claim, barrier — with zero-work tasks, so the number is pure
+// handoff overhead. One task per slot keeps every helper recruited.
+func BenchmarkPhaseHandoff(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rt := NewRuntime()
+			defer rt.Close()
+			p := NewOn(rt, workers, func(w int) struct{} { return struct{}{} })
+			p.Run(workers, func(struct{}, int) {}) // spawn the workers up front
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Run(workers, func(struct{}, int) {})
+			}
+		})
+	}
+}

@@ -11,8 +11,8 @@
 // scheduled tasks — submitted to an already-running Runtime, so the
 // round-structured searches (SELECT re-scores every candidate each
 // round, GREEDY scores block after block, EXACT runs a seed and a DFS
-// phase per added rule) pay a channel handoff per phase instead of a
-// goroutine launch per worker per phase. Parked workers also keep their
+// phase per added rule) pay one wake-all broadcast per phase instead of
+// a goroutine launch per worker per phase. Parked workers also keep their
 // grown stacks, which the deeply recursive searches would otherwise
 // re-grow on every fresh goroutine.
 //
@@ -80,17 +80,27 @@ func Size(workers, tasks int) int {
 // Runtime is a persistent set of parked worker goroutines fed by a run
 // queue. Workers are spawned lazily, on the first phase that needs
 // them, and grow to the largest concurrency any phase has requested;
-// between phases they block on a channel receive (parked), costing
-// nothing. A Runtime is safe for concurrent use; phases submitted
-// concurrently share the workers.
+// between phases they park on a condition variable guarded by a
+// generation counter, costing nothing. A Runtime is safe for concurrent
+// use; phases submitted concurrently share the workers.
+//
+// Phase handoff is wake-all, not per-worker: the submitter appends its
+// job to the pending queue, bumps the generation, and issues a single
+// Broadcast; every parked worker wakes and claims a helper slot from
+// the queue under the lock. Compared to the previous per-worker channel
+// rendezvous this makes submission cost independent of the helper count
+// — one lock acquisition and one futex wake for the whole phase instead
+// of `helpers` synchronous channel sends — which is what the
+// round-structured searches pay per round.
 //
 // The zero Runtime is not usable; use NewRuntime, or Default for the
 // shared package-wide instance.
 type Runtime struct {
-	jobs chan *phaseJob
-	done chan struct{} // closed by Close; jobs itself is never closed
-
 	mu      sync.Mutex
+	wake    sync.Cond   // workers park here; L is &mu
+	gen     uint64      // bumped on every announce and on Close
+	pending []*phaseJob // phases with unclaimed helper slots, FIFO
+
 	spawned int  // background workers launched so far
 	demand  int  // helpers wanted by phases currently in flight
 	closed  bool // no further submissions allowed
@@ -100,7 +110,9 @@ type Runtime struct {
 // demand by the phases submitted to it. Call Close when no more phases
 // will be submitted; the package Default runtime is never closed.
 func NewRuntime() *Runtime {
-	return &Runtime{jobs: make(chan *phaseJob), done: make(chan struct{})}
+	rt := &Runtime{}
+	rt.wake.L = &rt.mu
+	return rt
 }
 
 var (
@@ -117,54 +129,107 @@ func Default() *Runtime {
 
 // Close shuts the runtime down: parked workers exit, and submitting a
 // new phase panics. Close is idempotent and safe against in-flight
-// phases: the jobs channel is never closed (workers and recruiting
-// submitters select on the done channel instead), so a phase racing
-// Close simply stops recruiting helpers and finishes its tasks on the
-// submitting goroutine.
+// phases: a phase racing Close keeps its claimed helpers, loses its
+// unclaimed ones (workers check closed before claiming), and finishes
+// the remaining tasks on the submitting goroutine.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if !rt.closed {
 		rt.closed = true
-		close(rt.done)
+		rt.gen++
 	}
+	rt.mu.Unlock()
+	rt.wake.Broadcast()
 }
 
-// reserve registers a phase's helper demand and grows the worker set to
-// cover the demand of every phase in flight, so concurrent submitters
-// never compete for the same parked workers: each phase's recruitment
-// sends are matched by workers reserved for it. Parked workers are
+// announce registers a phase's helper demand, grows the worker set to
+// cover the demand of every phase in flight (so concurrent submitters
+// never compete for the same parked workers), enqueues the job, and
+// wakes all parked workers with a single Broadcast. Parked workers are
 // never torn down between phases (that is the point of the runtime), so
 // spawned only grows, up to the peak concurrent demand.
-func (rt *Runtime) reserve(n int) {
+func (rt *Runtime) announce(j *phaseJob, helpers int) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if rt.closed {
+		rt.mu.Unlock()
 		panic("pool: phase submitted to a closed Runtime")
 	}
-	rt.demand += n
+	rt.demand += helpers
 	for rt.spawned < rt.demand {
 		rt.spawned++
 		go rt.worker()
 	}
+	rt.pending = append(rt.pending, j)
+	rt.gen++
+	rt.mu.Unlock()
+	rt.wake.Broadcast()
 }
 
-// release returns a phase's helper demand after its barrier.
-func (rt *Runtime) release(n int) {
+// retract returns a phase's helper demand after its barrier and
+// withdraws the job's unclaimed helper slots, if any: when the
+// submitter finished every task before all helpers woke (tiny phases),
+// the job must not linger on the queue for a later worker to claim.
+func (rt *Runtime) retract(j *phaseJob, helpers int) {
 	rt.mu.Lock()
-	rt.demand -= n
+	rt.demand -= helpers
+	if j.claims > 0 {
+		j.claims = 0
+		for i, p := range rt.pending {
+			if p == j {
+				last := len(rt.pending) - 1
+				rt.pending[i] = rt.pending[last]
+				rt.pending[last] = nil
+				rt.pending = rt.pending[:last]
+				break
+			}
+		}
+	}
 	rt.mu.Unlock()
 }
 
-// worker is the body of one persistent background worker: park on the
-// run queue, execute a share of the received phase, park again.
+// claimLocked takes one helper slot from the oldest pending phase,
+// dropping the phase from the queue when its last slot is claimed.
+// Callers hold rt.mu.
+func (rt *Runtime) claimLocked() *phaseJob {
+	if len(rt.pending) == 0 {
+		return nil
+	}
+	j := rt.pending[0]
+	j.claims--
+	if j.claims == 0 {
+		copy(rt.pending, rt.pending[1:])
+		last := len(rt.pending) - 1
+		rt.pending[last] = nil
+		rt.pending = rt.pending[:last]
+	}
+	return j
+}
+
+// worker is the body of one persistent background worker: claim a
+// helper slot from the pending queue, execute a share of that phase,
+// and park on the generation counter when the queue is empty. The
+// park loop re-reads gen under the lock after the queue was seen empty,
+// so an announce (which bumps gen under the same lock before
+// broadcasting) can never be missed — the classic lost-wakeup pattern.
 func (rt *Runtime) worker() {
+	rt.mu.Lock()
 	for {
-		select {
-		case job := <-rt.jobs:
-			job.run()
-		case <-rt.done:
+		for !rt.closed {
+			j := rt.claimLocked()
+			if j == nil {
+				break
+			}
+			rt.mu.Unlock()
+			j.run()
+			rt.mu.Lock()
+		}
+		if rt.closed {
+			rt.mu.Unlock()
 			return
+		}
+		gen := rt.gen
+		for rt.gen == gen && !rt.closed {
+			rt.wake.Wait()
 		}
 	}
 }
@@ -197,25 +262,18 @@ func (rt *Runtime) phase(slots, tasks int, fn func(slot, task int) bool) {
 		}
 		return
 	}
-	rt.reserve(helpers)
-	defer rt.release(helpers)
-	j := &phaseJob{fn: fn, tasks: tasks, slots: int32(helpers + 1)}
+	j := &phaseJob{fn: fn, tasks: tasks, slots: int32(helpers + 1), claims: helpers}
 	j.wg.Add(tasks)
-	// Recruit helpers by handing the job to parked workers; reserve
-	// guarantees enough workers exist for every phase in flight, so the
-	// rendezvous sends complete promptly. If the runtime is closed
-	// mid-phase, recruitment stops and the submitter finishes the tasks
-	// itself (the per-task barrier does not count helpers).
-recruit:
-	for i := 0; i < helpers; i++ {
-		select {
-		case rt.jobs <- j:
-		case <-rt.done:
-			break recruit
-		}
-	}
+	// One announce wakes every parked worker; announce guarantees
+	// enough workers exist for every phase in flight, so the job's
+	// helper slots are claimed promptly. If the runtime is closed
+	// mid-phase, unclaimed slots are abandoned and the submitter
+	// finishes the tasks itself (the per-task barrier does not count
+	// helpers, so it releases regardless of how many claimed).
+	rt.announce(j, helpers)
 	j.run()
 	j.wg.Wait()
+	rt.retract(j, helpers)
 	if p := j.panicked.Load(); p != nil {
 		panic(p.val)
 	}
@@ -226,9 +284,10 @@ recruit:
 // stop refunds the tasks that will never be dispensed, so the barrier
 // in phase releases exactly when all dispensed work is done.
 type phaseJob struct {
-	fn    func(slot, task int) bool
-	tasks int
-	slots int32
+	fn     func(slot, task int) bool
+	tasks  int
+	slots  int32
+	claims int // unclaimed helper slots; guarded by the Runtime's mu
 
 	nextTask atomic.Int64 // tasks dispensed so far (may overshoot)
 	nextSlot atomic.Int32
@@ -257,8 +316,8 @@ func (j *phaseJob) stop() {
 
 // run is one executor's share of the phase: claim a slot, pull tasks
 // until exhausted or stopped. Executors beyond the slot budget (which
-// cannot happen with channel recruitment, but is guarded anyway) do not
-// participate. A panicking task records the first panic, cancels the
+// cannot happen with claim-counted recruitment, but is guarded anyway)
+// do not participate. A panicking task records the first panic, cancels the
 // phase, and leaves the executing worker healthy.
 func (j *phaseJob) run() {
 	slot := int(j.nextSlot.Add(1)) - 1
