@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test lint fuzz-smoke bench-kernels promote-baseline
+.PHONY: test lint chaos fuzz-smoke bench-kernels promote-baseline
 
 # The tier-1 gate: everything CI's build/test steps enforce.
 test:
@@ -12,6 +12,14 @@ test:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/twovet ./...
+
+# The chaos suite: the deterministic failpoint registry (internal/fault)
+# compiles in under -tags faultinject, and the scripted failure
+# scenarios run under the race detector — injected handler panics,
+# deadline blowouts, mid-stream reader faults, poisoned pool tasks,
+# table reloads racing live batches, and the translatord overload storm.
+chaos:
+	$(GO) test -tags faultinject -race -count=1 ./internal/fault/ ./internal/dataset/ ./internal/pool/ ./internal/core/ ./internal/server/
 
 # 30-second native-fuzzing smoke on the text readers (see README,
 # "Fuzzing"). Each target runs separately: `go test -fuzz` accepts a

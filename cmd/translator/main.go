@@ -15,13 +15,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"twoview/internal/core"
 	"twoview/internal/dataset"
 	"twoview/internal/eval"
 	"twoview/internal/mdl"
+	"twoview/internal/shutdown"
 )
 
 func main() {
@@ -50,7 +49,7 @@ func main() {
 	// SIGINT/SIGTERM cancel the mining context: a long mine unwinds at
 	// the next search checkpoint and the partial table is still printed
 	// (and saved with -save) instead of the process being killed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := shutdown.NotifyContext(context.Background())
 	defer stop()
 
 	d, err := dataset.ReadFile(*in)

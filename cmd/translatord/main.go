@@ -1,0 +1,123 @@
+// Command translatord serves a mined translation table over HTTP: the
+// fault-tolerant daemon form of `translator -load`. It compiles the
+// table once at startup and answers single-row and batch translation
+// requests with per-request deadlines, load shedding under overload,
+// per-request panic containment, and zero-downtime table reloads.
+//
+// Usage:
+//
+//	translatord -data data.tv -table rules.tt [-addr :8117]
+//	            [-deadline 2s] [-max-deadline 10s] [-max-inflight 64]
+//	            [-queue-wait 100ms] [-max-batch 8192] [-drain 15s]
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	POST /translate        {"from":"L","items":[...]}
+//	POST /translate/batch  {"from":"L","rows":[[...],...]}
+//	GET  /healthz          liveness (always 200 while serving)
+//	GET  /readyz           readiness (503 while draining)
+//	POST /reload           re-read -data/-table, compile, swap, drain old epoch
+//
+// SIGINT/SIGTERM triggers a graceful drain: /readyz flips to 503 so
+// load balancers stop routing, in-flight requests finish, and the
+// listener closes — all under the bounded -drain deadline. A second
+// signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/server"
+	"twoview/internal/shutdown"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("translatord: ")
+
+	var (
+		data        = flag.String("data", "", "two-view dataset file the table was mined from (required)")
+		table       = flag.String("table", "", "stored translation table file (required)")
+		addr        = flag.String("addr", ":8117", "listen address")
+		deadline    = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+		maxDeadline = flag.Duration("max-deadline", 10*time.Second, "cap on client-requested deadlines (X-Deadline-Ms)")
+		maxInFlight = flag.Int("max-inflight", 64, "concurrent translate-request budget before shedding")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429")
+		maxBatch    = flag.Int("max-batch", 8192, "max rows per batch request")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
+	)
+	flag.Parse()
+	if *data == "" || *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	compile := func() (*core.Translator, error) {
+		d, err := dataset.ReadFile(*data)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := core.ReadTableFile(*table, d)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileTranslator(d, tab)
+	}
+	tr, err := compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(tr, server.Options{
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxInFlight:     *maxInFlight,
+		MaxQueueWait:    *queueWait,
+		MaxBatchRows:    *maxBatch,
+		// POST /reload re-reads both files: a freshly mined table (or a
+		// regenerated dataset vocabulary) goes live without a restart.
+		Reload: func(context.Context) (*core.Translator, error) { return compile() },
+		Log:    log.Default(), // already carries the translatord: prefix
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := shutdown.NotifyContext(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d rules on %s (epoch %d)", tr.Rules(), *addr, srv.Epoch())
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (port in use, ...): nothing to drain.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // second signal now kills the process the default way
+	log.Printf("signal received; draining for up to %v (second signal kills)", *drain)
+
+	err = shutdown.Drain(*drain,
+		func(context.Context) error { srv.BeginShutdown(); return nil },
+		httpSrv.Shutdown,
+	)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		httpSrv.Close()
+		log.Fatal(fmt.Errorf("drain incomplete: %w", err))
+	}
+	log.Print("drained; bye")
+}

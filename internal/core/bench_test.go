@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"twoview/internal/dataset"
@@ -224,6 +225,48 @@ func BenchmarkTranslatorBatch(b *testing.B) {
 		if _, err := tr.TranslateBatch(context.Background(), d, dataset.Left); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTranslatorSparseRow pins the generational counter reset of
+// the counting matcher: a sparse 3-item row translated through tables
+// of growing size. With the lazy generation tags the per-row cost is
+// O(postings touched by the row) — near-constant across the rules axis
+// — where the old clear(counts[:|T|]) made it grow linearly with the
+// table. A regression that reintroduces an O(|T|) per-row term shows up
+// as rules=4096 drifting to a multiple of rules=128.
+func BenchmarkTranslatorSparseRow(b *testing.B) {
+	const items = 256
+	d := dataset.MustNew(dataset.GenericNames("l", items), dataset.GenericNames("r", items))
+	for _, nRules := range []int{128, 1024, 4096} {
+		tab := &Table{}
+		for k := 0; k < nRules; k++ {
+			// Two-item antecedents spread over the vocabulary; only the
+			// postings of items {0,1,2} overlap the benchmarked row.
+			a, c := k%items, (k*7+1)%items
+			if a == c {
+				c = (c + 1) % items
+			}
+			tab.Rules = append(tab.Rules, Rule{
+				X: itemset.New(a, c), Dir: Forward, Y: itemset.New(k % items),
+			})
+		}
+		tr, err := CompileTranslator(d, tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row, err := tr.NewRow(dataset.Left, []int{0, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rules=%d", nRules), func(b *testing.B) {
+			var dst []int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = tr.TranslateInto(dst[:0], dataset.Left, row)
+			}
+		})
 	}
 }
 

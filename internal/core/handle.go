@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// TranslatorHandle is the zero-downtime table-swap primitive of the
+// serving daemon: an atomic, epoch-tagged pointer to the current
+// compiled Translator plus a per-epoch reference count that lets a
+// swapped-out epoch be drained before it is released.
+//
+// Readers (request handlers) pin the current epoch with Acquire, use
+// its immutable Translator for the whole request, and Release it;
+// because a Translator is never mutated after compilation and the
+// handle swaps whole epochs, no reader can ever observe a torn table —
+// a request sees exactly the table that was current when it acquired,
+// for its entire lifetime. Writers install a freshly compiled
+// Translator with Swap (epoch numbers increase by one per swap) and
+// then Drain the returned retired epoch: Drain returns once the last
+// in-flight reference is released, i.e. once no request can still be
+// reading the old table.
+//
+// All methods are safe for concurrent use. Acquire/Release are two
+// atomic operations in the common case; the retry in Acquire only
+// triggers when a Swap lands between the load and the reference bump,
+// so readers never block and swaps never stall admission.
+type TranslatorHandle struct {
+	cur atomic.Pointer[TranslatorEpoch]
+
+	// swapMu serializes writers: concurrent Swaps must retire epochs in
+	// installation order, or one of the racing epochs would be replaced
+	// without ever being retired and its Drain would hang forever.
+	// Readers never take it.
+	swapMu sync.Mutex
+}
+
+// TranslatorEpoch pins one installed Translator generation: the
+// immutable Translator, its epoch number, and the in-flight reference
+// count used to drain it after a swap.
+type TranslatorEpoch struct {
+	tr    *Translator
+	epoch uint64
+
+	// refs counts Acquires plus one installation reference held by the
+	// handle itself; the epoch is drained when it reaches zero, which
+	// can only happen after Swap dropped the installation reference.
+	refs      atomic.Int64
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+// NewTranslatorHandle returns a handle serving tr as epoch 1.
+func NewTranslatorHandle(tr *Translator) *TranslatorHandle {
+	h := &TranslatorHandle{}
+	h.cur.Store(newEpoch(tr, 1))
+	return h
+}
+
+func newEpoch(tr *Translator, n uint64) *TranslatorEpoch {
+	e := &TranslatorEpoch{tr: tr, epoch: n, drained: make(chan struct{})}
+	e.refs.Store(1) // the installation reference, dropped by Swap
+	return e
+}
+
+// Translator returns the epoch's immutable compiled table.
+func (e *TranslatorEpoch) Translator() *Translator { return e.tr }
+
+// Epoch returns the epoch's generation number (1 for the first table).
+func (e *TranslatorEpoch) Epoch() uint64 { return e.epoch }
+
+// Release drops one Acquire reference. The last release of a retired
+// epoch marks it drained.
+func (e *TranslatorEpoch) Release() {
+	if e.refs.Add(-1) == 0 {
+		// refs can touch zero more than once: a racing Acquire on an
+		// already-retired epoch bumps it back up and re-releases (see
+		// Acquire), so the drain signal must be idempotent.
+		e.drainOnce.Do(func() { close(e.drained) })
+	}
+}
+
+// Drain blocks until every reference to this retired epoch has been
+// released — i.e. no in-flight request is still reading its table — or
+// until ctx is done. Calling Drain on the still-installed epoch blocks
+// until it is swapped out and drained (the installation reference is
+// only dropped by Swap).
+func (e *TranslatorEpoch) Drain(ctx context.Context) error {
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Acquire pins and returns the current epoch. The caller must Release
+// it when done with the Translator (typically deferred for the request
+// lifetime).
+func (h *TranslatorHandle) Acquire() *TranslatorEpoch {
+	for {
+		e := h.cur.Load()
+		e.refs.Add(1)
+		if h.cur.Load() == e {
+			return e
+		}
+		// A swap landed between the load and the bump: this epoch is
+		// retired, and holding a fresh reference on it would stall its
+		// drain. Back out and pin the new current epoch instead.
+		e.Release()
+	}
+}
+
+// Current returns the installed Translator and its epoch number
+// without pinning it — an introspection read (readiness, status
+// endpoints), not a license to translate: a request that will use the
+// table must Acquire.
+func (h *TranslatorHandle) Current() (*Translator, uint64) {
+	e := h.cur.Load()
+	return e.tr, e.epoch
+}
+
+// Swap atomically installs tr as the new current epoch and retires the
+// previous one, dropping its installation reference. It returns the
+// retired epoch so the caller can Drain it before releasing resources
+// tied to the old table. Requests that acquired before the swap finish
+// on the old table; requests acquiring after it see only the new one.
+func (h *TranslatorHandle) Swap(tr *Translator) *TranslatorEpoch {
+	h.swapMu.Lock()
+	old := h.cur.Load()
+	h.cur.Store(newEpoch(tr, old.epoch+1))
+	h.swapMu.Unlock()
+	old.Release()
+	return old
+}

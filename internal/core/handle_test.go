@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twoview/internal/dataset"
+	"twoview/internal/itemset"
+)
+
+// handleFixture compiles two distinguishable single-rule translators
+// over the same tiny vocabulary: epoch A maps l0 -> r0, epoch B maps
+// l0 -> r1. A reader that ever sees a mix has observed a torn table.
+func handleFixture(t testing.TB) (trA, trB *Translator, d *dataset.Dataset) {
+	t.Helper()
+	d = dataset.MustNew(dataset.GenericNames("l", 2), dataset.GenericNames("r", 2))
+	mk := func(target int) *Translator {
+		tab := &Table{Rules: []Rule{{
+			X: itemset.Itemset{0}, Y: itemset.Itemset{target}, Dir: Forward,
+		}}}
+		tr, err := CompileTranslator(d, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	return mk(0), mk(1), d
+}
+
+func TestTranslatorHandleSwapAndEpochs(t *testing.T) {
+	trA, trB, _ := handleFixture(t)
+	h := NewTranslatorHandle(trA)
+	if tr, ep := h.Current(); tr != trA || ep != 1 {
+		t.Fatalf("Current = (%p, %d), want (%p, 1)", tr, ep, trA)
+	}
+	e := h.Acquire()
+	if e.Translator() != trA || e.Epoch() != 1 {
+		t.Fatalf("Acquire = epoch %d on %p", e.Epoch(), e.Translator())
+	}
+	old := h.Swap(trB)
+	if old.Epoch() != 1 {
+		t.Fatalf("retired epoch = %d, want 1", old.Epoch())
+	}
+	if tr, ep := h.Current(); tr != trB || ep != 2 {
+		t.Fatalf("after swap Current = (%p, %d), want (%p, 2)", tr, ep, trB)
+	}
+	// The old epoch is still referenced: Drain must time out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := old.Drain(ctx); err == nil {
+		t.Fatal("Drain returned while a reference was held")
+	}
+	e.Release()
+	if err := old.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+	// Draining an already-drained epoch is immediate and nil even with
+	// a cancelled context racing it.
+	if err := old.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// Hammer the handle with concurrent readers while a writer swaps
+// between two tables, asserting (a) every read is internally
+// consistent — a request's translation matches the epoch it pinned,
+// never a mix — and (b) every retired epoch drains.
+func TestTranslatorHandleConcurrentSwapNoTornReads(t *testing.T) {
+	trA, trB, _ := handleFixture(t)
+	h := NewTranslatorHandle(trA)
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := h.Acquire()
+				ids, err := e.Translator().TranslateIDs(nil, dataset.Left, []int{0})
+				if err != nil || len(ids) != 1 {
+					torn.Add(1)
+				} else {
+					want := 0
+					if e.Translator() == trB {
+						want = 1
+					}
+					if ids[0] != want {
+						torn.Add(1)
+					}
+				}
+				e.Release()
+			}
+		}()
+	}
+	cur := trA
+	for i := 0; i < 200; i++ {
+		if cur == trA {
+			cur = trB
+		} else {
+			cur = trA
+		}
+		old := h.Swap(cur)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := old.Drain(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("swap %d: old epoch did not drain: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn/inconsistent reads", n)
+	}
+	if _, ep := h.Current(); ep != 201 {
+		t.Fatalf("final epoch = %d, want 201", ep)
+	}
+}

@@ -70,13 +70,36 @@ type compiledRule struct {
 }
 
 // translatorScratch is the per-call working set: one rule-hit counter
-// slice (shared by both directions; sized to the larger), one
-// translation accumulator per target view, and one id-built row per
-// from view (for the TranslateIDs entry).
+// slice (shared by both directions; sized to the larger), the matching
+// generation tags, one translation accumulator per target view, and one
+// id-built row per from view (for the TranslateIDs entry).
+//
+// The counters are reset lazily via the generation tags: a counter is
+// valid only when its tag equals the scratch's current generation, and
+// every row bumps the generation instead of clearing the whole counter
+// prefix. That makes the per-row reset cost O(rules touched by the row)
+// instead of O(|T|) — on thousand-rule tables with sparse rows the
+// clear of the counter slice used to dominate the matcher itself (see
+// BenchmarkTranslatorSparseRow).
 type translatorScratch struct {
 	counts []int32
+	gens   []uint32
+	gen    uint32
 	out    [2]*bitset.Set // indexed by the *target* view
 	row    [2]*bitset.Set // indexed by the *from* view
+}
+
+// nextGen advances the scratch to a fresh generation, invalidating
+// every counter in O(1). On uint32 wraparound (once per 2^32 rows) the
+// tags are resynchronized with one full clear so a stale tag from four
+// billion rows ago can never alias the new generation.
+func (sc *translatorScratch) nextGen() uint32 {
+	sc.gen++
+	if sc.gen == 0 {
+		clear(sc.gens)
+		sc.gen = 1
+	}
+	return sc.gen
 }
 
 // CompileTranslator compiles t against d's vocabularies. The table is
@@ -126,7 +149,7 @@ func (tr *Translator) getScratch() *translatorScratch {
 	sc, _ := tr.scratch.Get().(*translatorScratch)
 	if sc == nil {
 		n := max(len(tr.dirs[0].rules), len(tr.dirs[1].rules))
-		sc = &translatorScratch{counts: make([]int32, n)}
+		sc = &translatorScratch{counts: make([]int32, n), gens: make([]uint32, n)}
 		sc.out[dataset.Left] = bitset.New(tr.items[dataset.Left])
 		sc.out[dataset.Right] = bitset.New(tr.items[dataset.Right])
 		sc.row[dataset.Left] = bitset.New(tr.items[dataset.Left])
@@ -148,18 +171,24 @@ func (tr *Translator) checkRow(from dataset.View, row *bitset.Set) {
 }
 
 // translateInto writes the translation t′ of row into out using the
-// counting matcher. counts must hold at least len(cd.rules) entries;
-// only the prefix is cleared.
-func (cd *compiledDir) translateInto(out *bitset.Set, row *bitset.Set, counts []int32) {
+// counting matcher. Counter hygiene is generational: the row starts a
+// fresh generation and a counter is zeroed the first time its rule is
+// touched, so rules the row never overlaps cost nothing — neither a
+// probe nor a clear.
+func (cd *compiledDir) translateInto(out *bitset.Set, row *bitset.Set, sc *translatorScratch) {
 	out.Clear()
-	counts = counts[:len(cd.rules)]
-	clear(counts)
+	gen := sc.nextGen()
+	counts, gens := sc.counts, sc.gens
 	for wi, w := range row.Words() {
 		base := wi * bitset.WordBits
 		for w != 0 {
 			i := base + bits.TrailingZeros64(w)
 			w &= w - 1
 			for _, ri := range cd.post[i] {
+				if gens[ri] != gen {
+					gens[ri] = gen
+					counts[ri] = 0
+				}
 				if counts[ri]++; counts[ri] == cd.rules[ri].lhsLen {
 					out.Or(cd.rules[ri].rhs)
 				}
@@ -182,7 +211,7 @@ func (tr *Translator) TranslateInto(dst []int, from dataset.View, row *bitset.Se
 	tr.checkRow(from, row)
 	sc := tr.getScratch()
 	out := sc.out[from.Opposite()]
-	tr.dirs[from].translateInto(out, row, sc.counts)
+	tr.dirs[from].translateInto(out, row, sc)
 	dst = out.AppendIndices(dst)
 	tr.putScratch(sc)
 	return dst
@@ -215,7 +244,7 @@ func (tr *Translator) TranslateIDs(dst []int, from dataset.View, ids []int) ([]i
 		return dst, fmt.Errorf("core: %v row: %w", from, err)
 	}
 	out := sc.out[from.Opposite()]
-	tr.dirs[from].translateInto(out, row, sc.counts)
+	tr.dirs[from].translateInto(out, row, sc)
 	return out.AppendIndices(dst), nil
 }
 
@@ -233,7 +262,7 @@ func (tr *Translator) TranslateCorrect(from dataset.View, row, truth *bitset.Set
 	}
 	sc := tr.getScratch()
 	out := sc.out[target]
-	tr.dirs[from].translateInto(out, row, sc.counts)
+	tr.dirs[from].translateInto(out, row, sc)
 	trans := out.AppendIndices(nil)
 	var c Corrections
 	truth.ForEach(func(i int) bool {
@@ -298,7 +327,39 @@ func (tr *Translator) TranslateBatch(ctx context.Context, d *dataset.Dataset, fr
 				return nil, err
 			}
 		}
-		cd.translateInto(out, d.Row(from, t), sc.counts)
+		cd.translateInto(out, d.Row(from, t), sc)
+		start := len(arena)
+		arena = out.AppendIndices(arena)
+		res[t] = arena[start:len(arena):len(arena)]
+	}
+	return res, nil
+}
+
+// TranslateBatchIDs is TranslateBatch for rows given directly as item
+// id lists — the serving daemon's batch entry, where a request body
+// carries many transactions that never exist as a Dataset. All rows are
+// translated through one pooled scratch and one amortized arena (same
+// O(log n) allocation contract as TranslateBatch). Out-of-vocabulary
+// ids fail the whole batch with the offending row's index; cancelling
+// ctx aborts between rows with ctx.Err(). Safe for concurrent use.
+func (tr *Translator) TranslateBatchIDs(ctx context.Context, from dataset.View, rows [][]int) ([][]int, error) {
+	sc := tr.getScratch()
+	defer tr.putScratch(sc)
+	cd := &tr.dirs[from]
+	out := sc.out[from.Opposite()]
+	row := sc.row[from]
+	res := make([][]int, len(rows))
+	arena := make([]int, 0, len(rows)*2)
+	for t, ids := range rows {
+		if t&translateCtxProbe == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := fillRow(row, ids); err != nil {
+			return nil, fmt.Errorf("core: row %d: %w", t, err)
+		}
+		cd.translateInto(out, row, sc)
 		start := len(arena)
 		arena = out.AppendIndices(arena)
 		res[t] = arena[start:len(arena):len(arena)]
@@ -329,7 +390,7 @@ func (tr *Translator) Apply(ctx context.Context, d *dataset.Dataset, from datase
 				return ApplyReport{}, err
 			}
 		}
-		cd.translateInto(out, d.Row(from, t), sc.counts)
+		cd.translateInto(out, d.Row(from, t), sc)
 		truth := d.Row(target, t)
 		rep.TranslatedOnes += out.Count()
 		rep.Uncovered += bitset.AndNotCount(truth, out) // |t \ t′| = |U_t|
@@ -384,7 +445,7 @@ func (tr *Translator) ApplyStream(ctx context.Context, r io.Reader, from dataset
 		if err := fillRow(rowT, dst); err != nil {
 			return ApplyReport{}, fmt.Errorf("core: line %d: %w", rr.Line(), err)
 		}
-		cd.translateInto(out, rowF, sc.counts)
+		cd.translateInto(out, rowF, sc)
 		rep.TranslatedOnes += out.Count()
 		rep.Uncovered += bitset.AndNotCount(rowT, out)
 		rep.Errors += bitset.AndNotCount(out, rowT)

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"twoview/internal/fault"
 )
 
 // The text format, one dataset per file:
@@ -148,6 +150,14 @@ func (rr *RowReader) Header() (namesL, namesR []string, err error) {
 // the consumer's concern (AddRow in Read, the width check in streaming
 // consumers).
 func (rr *RowReader) Next() (left, right []int, err error) {
+	if fault.Enabled {
+		// Chaos builds only: lets tests script a transient read error
+		// mid-stream ("the storage hiccuped on row k") and assert that
+		// streaming consumers surface it cleanly instead of wedging.
+		if err := fault.Point("dataset.rowreader.next"); err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: %w", rr.line, err)
+		}
+	}
 	if !rr.headerRead {
 		if _, _, err := rr.Header(); err != nil {
 			return nil, nil, err

@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package fault
+
+// Enabled reports whether fault injection is compiled in. In the
+// default build it is the constant false, so call sites guarded by
+// `if fault.Enabled` are eliminated at compile time.
+const Enabled = false
+
+// Point is a no-op in the default build.
+func Point(name string) error { return nil }
+
+// Fire is a no-op in the default build.
+func Fire(name string) {}
+
+// Set is a no-op in the default build.
+func Set(name string, actions ...Action) {}
+
+// Reset is a no-op in the default build.
+func Reset() {}
+
+// Hits always reports zero in the default build.
+func Hits(name string) int { return 0 }

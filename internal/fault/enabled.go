@@ -1,0 +1,89 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+var (
+	mu        sync.Mutex
+	schedules = map[string][]Action{}
+	hits      = map[string]int{}
+)
+
+// Set replaces the schedule of the named point with the given FIFO
+// action list and resets its hit counter.
+func Set(name string, actions ...Action) {
+	mu.Lock()
+	defer mu.Unlock()
+	schedules[name] = append([]Action(nil), actions...)
+	hits[name] = 0
+}
+
+// Reset clears every schedule and hit counter, returning the registry
+// to the pass-through state. Chaos tests call it between scenarios.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	clear(schedules)
+	clear(hits)
+}
+
+// Hits reports how many times the named point has been evaluated since
+// its schedule was last Set (or since Reset).
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[name]
+}
+
+// next consumes one evaluation of the named point: it counts the hit,
+// skips past Action spacers, and pops the head action when its Skip
+// budget is spent. The action is resolved outside the lock (sleeps and
+// panics must not serialize the registry).
+func next(name string) (Action, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	hits[name]++
+	q := schedules[name]
+	if len(q) == 0 {
+		return Action{}, false
+	}
+	if q[0].Skip > 0 {
+		q[0].Skip--
+		return Action{}, false
+	}
+	a := q[0]
+	schedules[name] = q[1:]
+	return a, true
+}
+
+// Point evaluates the named failpoint: it sleeps through a scheduled
+// delay, returns a scheduled error, panics with a scheduled panic
+// value, and otherwise passes (returns nil).
+func Point(name string) error {
+	a, ok := next(name)
+	if !ok {
+		return nil
+	}
+	if a.Delay > 0 {
+		time.Sleep(a.Delay)
+	}
+	if a.Panic != nil {
+		panic(a.Panic)
+	}
+	return a.Err
+}
+
+// Fire is Point for call sites without an error path (the pool's phase
+// submission): scheduled errors panic instead of being returned.
+func Fire(name string) {
+	if err := Point(name); err != nil {
+		panic(err)
+	}
+}

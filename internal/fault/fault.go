@@ -1,0 +1,52 @@
+// Package fault is a deterministic failpoint registry for chaos
+// testing: named hooks threaded through the serving daemon's hot paths
+// (internal/server), the streaming dataset reader (dataset.RowReader)
+// and the worker pool's phase submission (internal/pool), which tests
+// arm with a seeded schedule of injected errors, delays and panics.
+//
+// The package ships in two builds selected by the `faultinject` build
+// tag:
+//
+//   - Default build: Enabled is the constant false, Point returns nil
+//     and Fire does nothing. Every call site guards itself with
+//     `if fault.Enabled { ... }`, so the hooks compile away entirely —
+//     production binaries carry zero overhead, not even a branch.
+//   - `-tags faultinject`: Enabled is true and the registry is live.
+//     Tests script failures with Set and a FIFO list of Actions per
+//     point; each evaluation of the point consumes (or skips past) the
+//     schedule deterministically, so a chaos scenario like "the third
+//     task of the mine panics" or "the second reload compile fails"
+//     replays identically on every run.
+//
+// Schedules are per-point FIFO queues. An Action's Skip field lets a
+// single entry pass through the first n evaluations before firing, so
+// "fail the k-th hit" needs one entry, not k. Exhausted or absent
+// schedules make the point a pass-through. The registry is safe for
+// concurrent use: points are evaluated from request handlers and pool
+// workers while tests read Hits for assertions.
+//
+// The registry deliberately has no time- or randomness-driven firing
+// modes: schedules are positional only, so an injected fault is a pure
+// function of (schedule, hit number) and chaos tests stay replayable
+// under -race and across machines.
+package fault
+
+import "time"
+
+// Action is one scheduled behaviour of a failpoint. The zero Action is
+// an explicit pass-through (useful as a spacer); otherwise at most one
+// of Err and Panic should be set. Delay composes with either: the point
+// sleeps first, then errors/panics/passes.
+type Action struct {
+	// Skip passes through this many evaluations before the action
+	// fires, without consuming it.
+	Skip int
+	// Delay makes the point sleep before resolving, simulating a slow
+	// dependency (a slow client, a long compile).
+	Delay time.Duration
+	// Err is returned by Point (Fire panics with it instead, since its
+	// call sites have no error path).
+	Err error
+	// Panic is the value the point panics with.
+	Panic any
+}

@@ -1,0 +1,22 @@
+//go:build !faultinject
+
+package fault
+
+import "testing"
+
+// The default build must be inert: every entry point is a pass-through
+// regardless of what a (compiled-away) schedule would say.
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the faultinject tag")
+	}
+	Set("p", Action{Panic: "never"})
+	if err := Point("p"); err != nil {
+		t.Fatalf("Point = %v, want nil", err)
+	}
+	Fire("p") // must not panic
+	if n := Hits("p"); n != 0 {
+		t.Fatalf("Hits = %d, want 0", n)
+	}
+	Reset()
+}

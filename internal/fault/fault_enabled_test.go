@@ -1,0 +1,110 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScheduleFIFO(t *testing.T) {
+	defer Reset()
+	errA, errB := errors.New("a"), errors.New("b")
+	Set("p", Action{Err: errA}, Action{}, Action{Err: errB})
+	if err := Point("p"); !errors.Is(err, errA) {
+		t.Fatalf("hit 1: %v, want errA", err)
+	}
+	if err := Point("p"); err != nil {
+		t.Fatalf("hit 2 (spacer): %v, want nil", err)
+	}
+	if err := Point("p"); !errors.Is(err, errB) {
+		t.Fatalf("hit 3: %v, want errB", err)
+	}
+	// Exhausted schedule: pass-through forever.
+	for i := 0; i < 5; i++ {
+		if err := Point("p"); err != nil {
+			t.Fatalf("exhausted hit: %v, want nil", err)
+		}
+	}
+	if n := Hits("p"); n != 8 {
+		t.Fatalf("Hits = %d, want 8", n)
+	}
+}
+
+func TestSkipFiresOnNthHit(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", Action{Skip: 3, Err: boom})
+	for i := 1; i <= 3; i++ {
+		if err := Point("p"); err != nil {
+			t.Fatalf("hit %d: %v, want pass", i, err)
+		}
+	}
+	if err := Point("p"); !errors.Is(err, boom) {
+		t.Fatalf("hit 4: %v, want boom", err)
+	}
+	if err := Point("p"); err != nil {
+		t.Fatalf("hit 5: %v, want pass (consumed)", err)
+	}
+}
+
+func TestPanicAndFire(t *testing.T) {
+	defer Reset()
+	Set("p", Action{Panic: "kapow"})
+	func() {
+		defer func() {
+			if r := recover(); r != "kapow" {
+				t.Errorf("recover = %v, want kapow", r)
+			}
+		}()
+		_ = Point("p")
+	}()
+	// Fire turns scheduled errors into panics.
+	boom := errors.New("boom")
+	Set("q", Action{Err: boom})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("Fire did not panic on a scheduled error")
+			}
+		}()
+		Fire("q")
+	}()
+}
+
+func TestDelay(t *testing.T) {
+	defer Reset()
+	Set("p", Action{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Point("p"); err != nil {
+		t.Fatalf("Point = %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+// Unset points must stay cheap and safe under concurrent evaluation
+// (they run on every pool task in chaos builds).
+func TestConcurrentPassThrough(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := Point("unset"); err != nil {
+					t.Error("unset point returned error")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := Hits("unset"); n != 8000 {
+		t.Fatalf("Hits = %d, want 8000", n)
+	}
+}

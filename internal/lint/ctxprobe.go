@@ -28,7 +28,10 @@ var Ctxprobe = &Analyzer{
 	Run: runCtxprobe,
 }
 
-var ctxprobeScopes = []string{"internal/core", "internal/mine"}
+// internal/server is in scope because its handlers own per-request
+// deadlines: a serving loop that stops observing its context regresses
+// 504s back into held worker slots.
+var ctxprobeScopes = []string{"internal/core", "internal/mine", "internal/server"}
 
 // poolPhaseFuncs are the phase-submission entry points of
 // internal/pool: calling one inside a loop makes that loop a

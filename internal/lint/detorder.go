@@ -22,7 +22,8 @@ var Detorder = &Analyzer{
 	Name:      "detorder",
 	Directive: "nondeterministic-ok",
 	Doc: "flag map iteration in result-producing packages " +
-		"(internal/core, internal/mine, internal/pool, internal/eval, the facades); " +
+		"(internal/core, internal/mine, internal/pool, internal/eval, " +
+		"internal/server, internal/fault, the facades); " +
 		"map order is randomized per run, so any map range that can influence " +
 		"emitted results breaks the bit-identical-tables contract. " +
 		"Iterate sorted keys, or annotate with //lint:nondeterministic-ok <reason>.",
@@ -32,9 +33,15 @@ var Detorder = &Analyzer{
 // detorderScopes are the result-producing packages: the mining core and
 // candidate walk, the worker pool (its merges define result order), the
 // experiment/figure renderers (their output is the reproduced paper),
-// and the public facades. Parsers, bit-kernels and baselines are out of
-// scope: their maps are lookups or feed order-insensitive summaries.
-var detorderScopes = []string{"", "internal/core", "internal/mine", "internal/pool", "internal/eval"}
+// the public facades, and the serving layer (internal/server emits
+// translation responses, internal/fault replays scripted failure
+// schedules — both must be bit-reproducible run to run). Parsers,
+// bit-kernels and baselines are out of scope: their maps are lookups or
+// feed order-insensitive summaries.
+var detorderScopes = []string{
+	"", "internal/core", "internal/mine", "internal/pool", "internal/eval",
+	"internal/server", "internal/fault",
+}
 
 func runDetorder(pass *Pass) error {
 	if !hasScope(pass.Pkg.Path(), detorderScopes...) {

@@ -10,23 +10,32 @@ import (
 // core, the candidate walk, the bit kernels, the coder, the itemset
 // utilities and the worker pool. A time.Now-derived value or a
 // math/rand draw that leaks into a mined table makes runs unreproducible
-// in a way no worker-count sweep can catch. Observational timing (the
-// reported Result.Runtime metric) is confined to a single annotated
-// helper (core.stopwatch) rather than scattered call sites.
+// in a way no worker-count sweep can catch. Observational timing is
+// confined to single annotated helpers — core.stopwatch for the
+// reported Result.Runtime metric, server.now for serving-side latency
+// reporting — rather than scattered call sites.
 var Nowallclock = &Analyzer{
 	Name:      "nowallclock",
 	Directive: "wallclock-ok",
-	Doc: "forbid time.Now/time.Since and math/rand in the mining, kernel " +
-		"and translator packages (internal/core, internal/mine, internal/bitset, " +
-		"internal/itemset, internal/mdl, internal/pool) outside _test.go files: " +
-		"timing and randomness must never influence mined tables. " +
-		"Purely observational sites carry //lint:wallclock-ok <reason>.",
+	Doc: "forbid time.Now/time.Since and math/rand in the mining, kernel, " +
+		"translator and serving packages (internal/core, internal/mine, " +
+		"internal/bitset, internal/itemset, internal/mdl, internal/pool, " +
+		"internal/server, internal/fault) outside _test.go files: " +
+		"timing and randomness must never influence mined tables or served " +
+		"translations. Purely observational sites carry //lint:wallclock-ok <reason>.",
 	Run: runNowallclock,
 }
 
+// internal/server and internal/fault join the scope with the serving
+// daemon: translations must stay pure functions of (table, row), and
+// failpoint schedules must replay identically, so both packages confine
+// wall-clock reads to one annotated helper (server.now) and flag any
+// new site. Timer-based waiting (time.NewTimer, time.Sleep through a
+// scheduled fault delay) is fine; reading the clock is not.
 var nowallclockScopes = []string{
 	"internal/core", "internal/mine", "internal/bitset",
 	"internal/itemset", "internal/mdl", "internal/pool",
+	"internal/server", "internal/fault",
 }
 
 // wallClockFuncs are the forbidden time package entry points. Duration

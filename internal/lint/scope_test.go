@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+// The serving layer rides the same determinism contracts as the mining
+// core: translations are pure functions of (table, row) and failpoint
+// schedules replay identically. This pins the scope registration so a
+// future analyzer refactor cannot silently drop internal/server or
+// internal/fault out of coverage.
+func TestServingPackagesAreInAnalyzerScope(t *testing.T) {
+	cases := []struct {
+		pkg    string
+		name   string
+		scopes []string
+	}{
+		{"twoview/internal/server", "detorder", detorderScopes},
+		{"twoview/internal/fault", "detorder", detorderScopes},
+		{"twoview/internal/server", "ctxprobe", ctxprobeScopes},
+		{"twoview/internal/server", "nowallclock", nowallclockScopes},
+		{"twoview/internal/fault", "nowallclock", nowallclockScopes},
+	}
+	for _, c := range cases {
+		if !hasScope(c.pkg, c.scopes...) {
+			t.Errorf("%s not in %s scope", c.pkg, c.name)
+		}
+	}
+	// Sanity: scoping still excludes, rather than matching everything.
+	if hasScope("twoview/internal/dataset", ctxprobeScopes...) {
+		t.Error("internal/dataset unexpectedly in ctxprobe scope")
+	}
+	if hasScope("twoview/internal/serverless", "internal/server") {
+		t.Error("prefix matching leaks across package-name boundaries")
+	}
+}

@@ -51,6 +51,21 @@ func SumWeighted(sets []*bitset.Set, w []float64) float64 {
 	return total
 }
 
+// Allowed: delegation — the serving-batch idiom, where each iteration
+// threads the request context into a callee that owns the probing.
+func SumDelegated(ctx context.Context, sets []*bitset.Set, q *bitset.Set) (int, error) {
+	total := 0
+	for _, s := range sets {
+		total += bitset.AndCount(s, q)
+		if err := checkpoint(ctx, total); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+func checkpoint(ctx context.Context, _ int) error { return ctx.Err() }
+
 // Allowed: the same weighted-sum loop with a masked ctx probe.
 func SumWeightedProbed(ctx context.Context, sets []*bitset.Set, w []float64) (float64, error) {
 	const ctxProbeMask = 1<<10 - 1

@@ -3,6 +3,8 @@
 // site is justified with //lint:nondeterministic-ok.
 package detorder
 
+import "sort"
+
 // Flagged: the emitted string depends on map iteration order.
 func Joined(m map[string]int) string {
 	out := ""
@@ -29,4 +31,31 @@ func Sum(m map[string]int) int {
 		n += v
 	}
 	return n
+}
+
+// Flagged: the failpoint-registry shape — picking "any" schedule from a
+// name-keyed map makes chaos replays depend on map order.
+func FirstSchedule(schedules map[string][]int) []int {
+	for _, q := range schedules { // want `map iteration order is nondeterministic`
+		if len(q) > 0 {
+			return q
+		}
+	}
+	return nil
+}
+
+// Allowed: the sorted-walk twin — the key-collection range is
+// order-insensitive (the sort immediately follows) and says so.
+func SortedSchedules(schedules map[string][]int) [][]int {
+	keys := make([]string, 0, len(schedules))
+	//lint:nondeterministic-ok keys are sorted before any use
+	for k := range schedules {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, schedules[k])
+	}
+	return out
 }

@@ -23,3 +23,23 @@ func Observe() time.Time {
 	//lint:wallclock-ok fixture: observational metric only
 	return time.Now()
 }
+
+// Flagged: a bare clock helper — the serving-layer idiom is the
+// annotated twin below, one blessed helper per package.
+func BareNow() time.Time {
+	return time.Now() // want `time.Now in a determinism-critical package`
+}
+
+// Allowed: the server.now idiom, the package's single annotated read.
+func ServingNow() time.Time {
+	//lint:wallclock-ok fixture: serving timing is observational
+	return time.Now()
+}
+
+// Flagged: time.Until reads the clock just as much as time.Now does.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until in a determinism-critical package`
+}
+
+// Allowed: timer-based waiting never reads the wall clock.
+func Waiter(d time.Duration) *time.Timer { return time.NewTimer(d) }

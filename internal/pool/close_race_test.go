@@ -1,0 +1,101 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Runtime.Close racing an in-flight ctx-cancelled phase: the phase must
+// drain (barrier releases, RunCtx returns the context error), the
+// workers must exit, and nothing may deadlock — whichever of
+// {cancel, Close, task completion} wins each round's race. The
+// submitter keeps unclaimed tasks for itself when Close steals the
+// workers, so completion is guaranteed either way.
+func TestCloseRacesCancelledPhase(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		rt := NewRuntime()
+		p := NewOn(rt, 4, func(w int) struct{} { return struct{}{} })
+		ctx, cancel := context.WithCancel(context.Background())
+
+		started := make(chan struct{})
+		var once sync.Once
+		var raced sync.WaitGroup
+		raced.Add(1)
+		go func() {
+			defer raced.Done()
+			<-started
+			// Shuffle the interleaving across rounds: sometimes cancel
+			// first, sometimes Close first, sometimes back to back.
+			if round%2 == 0 {
+				cancel()
+			}
+			if round%3 == 0 {
+				runtime.Gosched()
+			}
+			rt.Close()
+			cancel()
+		}()
+
+		done := make(chan error, 1)
+		go func() {
+			done <- p.RunCtx(ctx, 256, func(struct{}, int) {
+				once.Do(func() { close(started) })
+				runtime.Gosched()
+			})
+		}()
+		select {
+		case err := <-done:
+			if err != nil && err != context.Canceled {
+				t.Fatalf("round %d: RunCtx = %v, want nil or context.Canceled", round, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: phase wedged against Close", round)
+		}
+		raced.Wait()
+
+		// The closed runtime must reject new phases loudly, not hang.
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("round %d: submission after Close did not panic", round)
+				}
+			}()
+			p.Run(4, func(struct{}, int) {})
+		}()
+	}
+}
+
+// A task panic re-raised on the submitter must leave the Runtime
+// reusable for the next pool — the Session lifecycle after a poisoned
+// phase. (The handoff stress test covers repeated panics on one Pool;
+// this pins reuse across Pools sharing the Runtime.)
+func TestRuntimeReuseAcrossPoolsAfterTaskPanic(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	for round := 0; round < 20; round++ {
+		p := NewOn(rt, 4, func(w int) struct{} { return struct{}{} })
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("round %d: task panic did not propagate", round)
+				}
+			}()
+			p.Run(64, func(_ struct{}, task int) {
+				if task == 13 {
+					panic("poisoned task")
+				}
+			})
+		}()
+		// Same Runtime, fresh Pool: a full healthy phase must run.
+		q := NewOn(rt, 4, func(w int) struct{} { return struct{}{} })
+		var ran atomic.Int64
+		q.Run(128, func(struct{}, int) { ran.Add(1) })
+		if ran.Load() != 128 {
+			t.Fatalf("round %d: %d tasks ran after panic, want 128", round, ran.Load())
+		}
+	}
+}

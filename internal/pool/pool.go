@@ -59,6 +59,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"twoview/internal/fault"
 )
 
 // Size resolves a Workers knob against the machine and the task count:
@@ -249,6 +251,21 @@ func (rt *Runtime) worker() {
 func (rt *Runtime) phase(slots, tasks int, fn func(slot, task int) bool) {
 	if tasks <= 0 {
 		return
+	}
+	if fault.Enabled {
+		// Chaos builds only (-tags faultinject; compiled away otherwise):
+		// scripted failpoints at phase submission and around individual
+		// tasks, so tests can inject a slow handoff or a panicking task
+		// and assert the drain/re-raise/reuse contract under -race. Which
+		// task a scheduled "pool.task" action lands on is
+		// schedule-dependent by design — recovery must hold wherever it
+		// strikes.
+		fault.Fire("pool.phase.submit")
+		inner := fn
+		fn = func(slot, task int) bool {
+			fault.Fire("pool.task")
+			return inner(slot, task)
+		}
 	}
 	helpers := slots - 1
 	if helpers > tasks-1 {

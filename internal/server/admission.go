@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded is the admission gate's shed signal: the in-flight
+// budget was full and the arrival aged out of the queue-wait bound.
+var errOverloaded = errors.New("server: overloaded")
+
+// gate is the concurrency-limit admission control of the translate
+// paths: a counting semaphore of in-flight slots plus a bounded queue
+// wait. Beyond the budget, arrivals wait at most maxWait for a slot and
+// are then shed — keeping the latency of *admitted* requests bounded
+// (p99 ≈ queue bound + service time) instead of letting an unbounded
+// queue push every request's latency toward infinity under overload.
+type gate struct {
+	sem chan struct{}
+	// shedSeq drives the deterministic retry-hint jitter; see
+	// retryAfterMS.
+	shedSeq atomic.Uint64
+}
+
+func newGate(maxInFlight int) *gate {
+	return &gate{sem: make(chan struct{}, maxInFlight)}
+}
+
+// admit blocks until an in-flight slot is free, the queue-wait bound
+// expires (errOverloaded), or the request context ends (its error).
+// The fast path — budget not exhausted — is one channel operation.
+func (g *gate) admit(ctx context.Context, maxWait time.Duration) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an in-flight slot.
+func (g *gate) release() { <-g.sem }
+
+// retryAfterMS is the backoff hint attached to a shed response: a value
+// in [2·maxWait, 4·maxWait) milliseconds, jittered per shed event so a
+// herd of shed clients does not retry in lockstep. The jitter is a
+// Weyl sequence (golden-ratio multiplicative hash of a shed counter),
+// not a PRNG draw: it spreads retries uniformly while keeping the
+// daemon's behaviour a pure function of its request history, which the
+// chaos suite relies on.
+func (g *gate) retryAfterMS(maxWait time.Duration) int64 {
+	base := maxWait.Milliseconds() * 2
+	if base < 1 {
+		base = 1
+	}
+	seq := g.shedSeq.Add(1)
+	jitter := int64(seq*0x9E3779B97F4A7C15>>1) % base
+	if jitter < 0 {
+		jitter = -jitter
+	}
+	return base + jitter
+}

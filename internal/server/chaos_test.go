@@ -1,0 +1,368 @@
+//go:build faultinject
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/fault"
+)
+
+// Chaos coverage for the daemon under -tags faultinject: scripted
+// failpoints strike inside the translate handlers and the reload path,
+// and the recovery contract is that the process keeps serving, results
+// stay bit-identical to the in-process Translator, and no failure mode
+// wedges a worker or tears a table.
+
+// A panic injected into the translate handler becomes a 500 for that
+// one request; the next request is served correctly, and /healthz never
+// flinches.
+func TestChaosHandlerPanicContained(t *testing.T) {
+	defer fault.Reset()
+	tr, d := serveFixture(t, 51)
+	s := New(tr, Options{Log: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	items := d.Row(dataset.Left, 0).Indices()
+	fault.Set("server.translate", fault.Action{Panic: "chaos: handler bomb"})
+
+	code, body, _ := postJSON(t, ts.URL+"/translate",
+		map[string]any{"from": "L", "items": items}, nil)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("bombed request: status %d: %s", code, body)
+	}
+	if code, _ := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after contained panic: status %d", code)
+	}
+
+	// The schedule is spent: the very next request must succeed and
+	// match the in-process result.
+	code, body, _ = postJSON(t, ts.URL+"/translate",
+		map[string]any{"from": "L", "items": items}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("request after contained panic: status %d: %s", code, body)
+	}
+	var got translateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.TranslateIDs(nil, dataset.Left, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(want) {
+		t.Fatalf("post-panic result %v, want %v", got.Items, want)
+	}
+	for i := range want {
+		if got.Items[i] != want[i] {
+			t.Fatalf("post-panic result %v, want %v", got.Items, want)
+		}
+	}
+}
+
+// A handler held past its deadline by an injected delay answers 504 —
+// both under the server default and under a client deadline capped by
+// MaxDeadline — and clean service resumes immediately after.
+func TestChaosDeadlineBlowout(t *testing.T) {
+	defer fault.Reset()
+	tr, d := serveFixture(t, 52)
+	s := New(tr, Options{
+		DefaultDeadline: 20 * time.Millisecond,
+		MaxDeadline:     30 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	items := d.Row(dataset.Left, 1).Indices()
+
+	// Server default deadline.
+	fault.Set("server.translate", fault.Action{Delay: 120 * time.Millisecond})
+	code, body, _ := postJSON(t, ts.URL+"/translate",
+		map[string]any{"from": "L", "items": items}, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow handler under default deadline: status %d: %s", code, body)
+	}
+
+	// A client asking for a huge deadline is capped at MaxDeadline, so
+	// the same delay still blows it.
+	fault.Set("server.translate", fault.Action{Delay: 120 * time.Millisecond})
+	code, body, _ = postJSON(t, ts.URL+"/translate",
+		map[string]any{"from": "L", "items": items},
+		map[string]string{"X-Deadline-Ms": "60000"})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow handler under capped client deadline: status %d: %s", code, body)
+	}
+
+	// Batches respect the deadline too.
+	fault.Set("server.translate", fault.Action{Delay: 120 * time.Millisecond})
+	code, body, _ = postJSON(t, ts.URL+"/translate/batch",
+		map[string]any{"from": "L", "rows": [][]int{items}}, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow batch: status %d: %s", code, body)
+	}
+
+	fault.Reset()
+	code, body, _ = postJSON(t, ts.URL+"/translate",
+		map[string]any{"from": "L", "items": items}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("clean request after blowouts: status %d: %s", code, body)
+	}
+}
+
+// A reload whose compile step faults answers 500, keeps the old epoch
+// installed and serving, and a clean retry succeeds.
+func TestChaosReloadCompileFault(t *testing.T) {
+	defer fault.Reset()
+	trA, trB := tinyTranslator(t, 0), tinyTranslator(t, 1)
+	s := New(trA, Options{
+		Log:    log.New(io.Discard, "", 0),
+		Reload: func(context.Context) (*core.Translator, error) { return trB, nil },
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	fault.Set("server.reload.compile", fault.Action{Err: errors.New("chaos: compile torn")})
+	code, body, _ := postJSON(t, ts.URL+"/reload", struct{}{}, nil)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("faulted reload: status %d: %s", code, body)
+	}
+	if !bytes.Contains(body, []byte("previous table still serving")) {
+		t.Fatalf("faulted reload does not promise continuity: %s", body)
+	}
+	if ep := s.Epoch(); ep != 1 {
+		t.Fatalf("epoch after faulted reload = %d, want 1", ep)
+	}
+	code, body, _ = postJSON(t, ts.URL+"/translate",
+		map[string]any{"from": "L", "items": []int{0}}, nil)
+	var resp translateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || len(resp.Items) != 1 || resp.Items[0] != 0 || resp.Epoch != 1 {
+		t.Fatalf("old table not serving after faulted reload: %d %s", code, body)
+	}
+
+	fault.Reset()
+	code, _, _ = postJSON(t, ts.URL+"/reload", struct{}{}, nil)
+	if code != http.StatusOK || s.Epoch() != 2 {
+		t.Fatalf("clean retry: status %d, epoch %d", code, s.Epoch())
+	}
+}
+
+// Reloads racing live batch traffic: every batch response must be
+// entirely the output of the epoch it reports — old table or new table,
+// never a mix — and every retired epoch must drain.
+func TestChaosReloadRacingLiveBatches(t *testing.T) {
+	defer fault.Reset()
+	trA, trB := tinyTranslator(t, 0), tinyTranslator(t, 1)
+	// Epoch n serves trA when n is odd, trB when n is even — so a
+	// response's epoch pins exactly which output is legal.
+	var flips atomic.Uint64
+	s := New(trA, Options{
+		Log: log.New(io.Discard, "", 0),
+		Reload: func(context.Context) (*core.Translator, error) {
+			if flips.Add(1)%2 == 1 {
+				return trB, nil
+			}
+			return trA, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rows := [][]int{{0}, {0, 1}, {0, 2}, {0, 3}}
+	stop := make(chan struct{})
+	var torn, served atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, body, _ := postJSON(t, ts.URL+"/translate/batch",
+					map[string]any{"from": "L", "rows": rows}, nil)
+				if code != http.StatusOK {
+					torn.Add(1)
+					continue
+				}
+				var resp batchResponse
+				if err := json.Unmarshal(body, &resp); err != nil {
+					torn.Add(1)
+					continue
+				}
+				want := 0
+				if resp.Epoch%2 == 0 {
+					want = 1
+				}
+				for _, out := range resp.Rows {
+					if len(out) != 1 || out[0] != want {
+						torn.Add(1)
+					}
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < 25; i++ {
+		code, body, _ := postJSON(t, ts.URL+"/reload", struct{}{}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("reload %d under live batches: status %d: %s", i, code, body)
+		}
+		var rel reloadResponse
+		if err := json.Unmarshal(body, &rel); err != nil {
+			t.Fatal(err)
+		}
+		if !rel.Drained {
+			t.Fatalf("reload %d: retired epoch did not drain under live traffic", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn or failed batch responses across reloads", n)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no batches served during the reload storm")
+	}
+	if ep := s.Epoch(); ep != 26 {
+		t.Fatalf("final epoch = %d, want 26", ep)
+	}
+}
+
+// Overload with slow handlers: shed requests get 429, served requests'
+// p99 stays under 2× the admission budget (queue-wait bound plus
+// injected service time), and /healthz stays green the whole storm.
+func TestChaosSheddingHoldsP99(t *testing.T) {
+	defer fault.Reset()
+	tr, d := serveFixture(t, 53)
+	// The herd's demand (24 clients × 20ms service on 2 slots ≈ 220ms
+	// expected queue wait) far exceeds the 60ms queue-wait bound, so the
+	// gate must shed — that is the scenario under test.
+	const (
+		maxInFlight = 2
+		queueWait   = 60 * time.Millisecond
+		serviceTime = 20 * time.Millisecond
+	)
+	s := New(tr, Options{MaxInFlight: maxInFlight, MaxQueueWait: queueWait})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	items := d.Row(dataset.Left, 2).Indices()
+
+	// Dedicated keep-alive transport: the p99 assertion measures the
+	// daemon's admission behaviour, not client connection churn.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+	}}
+	defer client.CloseIdleConnections()
+
+	// Every admitted request pays an injected service time, so the
+	// in-flight budget actually saturates under the client herd.
+	const totalReqs = 24 * 8
+	delays := make([]fault.Action, totalReqs)
+	for i := range delays {
+		delays[i] = fault.Action{Delay: serviceTime}
+	}
+	fault.Set("server.translate", delays...)
+
+	payload, err := json.Marshal(map[string]any{"from": "L", "items": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var servedLat []time.Duration
+	var shed, failed int
+	healthGreen := true
+
+	var wg sync.WaitGroup
+	for c := 0; c < 24; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Establish this worker's connection outside the timed loop.
+			if resp, err := client.Get(ts.URL + "/healthz"); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			for r := 0; r < 8; r++ {
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/translate", "application/json",
+					bytes.NewReader(payload))
+				lat := time.Since(start)
+				code := 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				mu.Lock()
+				switch code {
+				case http.StatusOK:
+					servedLat = append(servedLat, lat)
+				case http.StatusTooManyRequests:
+					shed++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// Probe liveness while the storm runs.
+	probeDone := make(chan struct{})
+	go func() {
+		defer close(probeDone)
+		for i := 0; i < 10; i++ {
+			if code, _ := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+				mu.Lock()
+				healthGreen = false
+				mu.Unlock()
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-probeDone
+
+	if failed != 0 {
+		t.Fatalf("%d requests failed with neither 200 nor 429", failed)
+	}
+	if shed == 0 {
+		t.Fatal("storm did not shed a single request — gate never saturated")
+	}
+	if len(servedLat) == 0 {
+		t.Fatal("storm served nothing — gate wedged")
+	}
+	if !healthGreen {
+		t.Fatal("healthz went red during the storm")
+	}
+	sort.Slice(servedLat, func(i, j int) bool { return servedLat[i] < servedLat[j] })
+	p99 := servedLat[len(servedLat)*99/100]
+	budget := queueWait + serviceTime
+	if p99 > 2*budget {
+		t.Fatalf("served p99 = %v, want <= 2× admission budget %v (served %d, shed %d)",
+			p99, budget, len(servedLat), shed)
+	}
+	t.Logf("storm: served %d (p99 %v), shed %d, budget %v", len(servedLat), p99, shed, budget)
+}

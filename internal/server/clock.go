@@ -1,0 +1,14 @@
+package server
+
+import "time"
+
+// now is the package's single wall-clock read. internal/server sits in
+// twovet's nowallclock scope like the mining packages, so every timing
+// site must route through this one annotated helper: serving-side
+// timing (queue-wait accounting, reload latency reporting, request
+// deadlines) is operational and observational — it can never influence
+// a translation result, which remains a pure function of (table, row).
+func now() time.Time {
+	//lint:wallclock-ok serving timing is observational; translations stay pure functions of (table, row)
+	return time.Now()
+}

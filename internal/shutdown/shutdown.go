@@ -1,0 +1,49 @@
+// Package shutdown is the shared graceful-termination path of the
+// twoview binaries: one place that maps process signals to context
+// cancellation and runs ordered drain steps under a bounded deadline.
+//
+// The interactive miner (cmd/translator) and the serving daemon
+// (cmd/translatord) want the same two halves: NotifyContext so the
+// first SIGINT/SIGTERM cancels in-flight work instead of killing the
+// process, and Drain so cleanup after that cancellation is best-effort
+// but can never hang shutdown forever.
+package shutdown
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// NotifyContext returns a copy of parent that is cancelled by the
+// process termination signals (SIGINT, SIGTERM). The returned stop
+// function releases the signal registration — after it is called a
+// second signal gets default handling (process death), which is the
+// right escape hatch for a user who is done waiting for the drain.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Step is one drain action: flip a readiness gate, stop accepting
+// connections, flush a file. It must honor ctx — the shared deadline is
+// the only thing standing between a stuck step and a hung shutdown.
+type Step func(ctx context.Context) error
+
+// Drain runs the steps in order under one shared deadline. Every step
+// runs even if an earlier one fails — drains are best-effort cleanup,
+// and skipping the rest would leak what they release — and the first
+// error (a step's, or the deadline's via the steps observing ctx) is
+// returned.
+func Drain(timeout time.Duration, steps ...Step) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var first error
+	for _, step := range steps {
+		if err := step(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

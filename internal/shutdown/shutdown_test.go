@@ -1,0 +1,69 @@
+package shutdown
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// A SIGINT raised at the process must cancel the notify context; stop
+// then restores default handling without blocking.
+func TestNotifyContextCancelsOnSignal(t *testing.T) {
+	ctx, stop := NotifyContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the notify context")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+// Drain runs every step in order, even after a failure, and returns the
+// first error.
+func TestDrainRunsAllStepsInOrder(t *testing.T) {
+	var order []int
+	boom := errors.New("step 2 failed")
+	later := errors.New("step 3 failed")
+	err := Drain(time.Second,
+		func(context.Context) error { order = append(order, 1); return nil },
+		func(context.Context) error { order = append(order, 2); return boom },
+		func(context.Context) error { order = append(order, 3); return later },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Drain = %v, want first error %v", err, boom)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("step order %v, want [1 2 3]", order)
+	}
+}
+
+// The shared deadline bounds a stuck step: it observes ctx.Done and the
+// drain reports the deadline error instead of hanging.
+func TestDrainBoundsStuckStep(t *testing.T) {
+	start := time.Now()
+	followUp := false
+	err := Drain(30*time.Millisecond,
+		func(ctx context.Context) error {
+			<-ctx.Done() // a drain step that would otherwise never finish
+			return ctx.Err()
+		},
+		func(context.Context) error { followUp = true; return nil },
+	)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v against a 30ms deadline", elapsed)
+	}
+	if !followUp {
+		t.Fatal("later steps skipped after a stuck step")
+	}
+}
