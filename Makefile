@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test lint chaos fuzz-smoke bench-kernels promote-baseline
+.PHONY: test lint chaos chaos-shard fuzz-smoke bench-kernels promote-baseline
 
 # The tier-1 gate: everything CI's build/test steps enforce.
 test:
@@ -20,6 +20,15 @@ lint:
 # table reloads racing live batches, and the translatord overload storm.
 chaos:
 	$(GO) test -tags faultinject -race -count=1 ./internal/fault/ ./internal/dataset/ ./internal/pool/ ./internal/core/ ./internal/server/
+
+# The sharded-mining chaos suite: scripted shard crashes (mid-score,
+# mid-apply, mid-replay), lease blowouts, lost and duplicated
+# completions — every scenario asserting the mined table stays
+# bit-identical to the monolith while recovery demonstrably fired.
+# Also re-runs the shard determinism grids with the failpoints
+# compiled in.
+chaos-shard:
+	$(GO) test -tags faultinject -race -count=1 ./internal/shard/
 
 # 30-second native-fuzzing smoke on the text readers (see README,
 # "Fuzzing"). Each target runs separately: `go test -fuzz` accepts a

@@ -20,6 +20,12 @@
 //     by more than -threshold (default 0.25 = +25% ns/op). A missing
 //     baseline file is not an error: the gate is dormant until a
 //     baseline recorded on the same hardware is supplied.
+//   - -compare old.json new.json: pure offline diff of two previously
+//     recorded reports — no benchmarks are run. Prints the per-benchmark
+//     ns/op delta table and exits non-zero when any shared benchmark
+//     regressed by more than -threshold. Unlike -baseline, both files
+//     must exist: naming a report is a claim that it was recorded, so a
+//     missing file is an error rather than a dormant gate.
 //
 // With -count > 1 the minimum ns/op per benchmark is kept (the standard
 // best-of reading: the least-noise sample), while allocs/op and B/op are
@@ -87,8 +93,27 @@ func main() {
 		parse     = flag.String("parse", "", "parse this pre-recorded go test -bench output instead of running")
 		baseline  = flag.String("baseline", "", "baseline report to gate against (missing file = gate dormant)")
 		threshold = flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression vs the baseline (0.25 = +25%)")
+		compare   = flag.Bool("compare", false, "offline mode: diff two recorded reports (old.json new.json), exit non-zero past -threshold")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchreport -compare [-threshold 0.25] old.json new.json")
+		}
+		old, err := loadReport(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := loadReport(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := diffReports(os.Stdout, old, cur, *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var raw []byte
 	var err error
@@ -217,7 +242,7 @@ func pairRatios(benchmarks []Benchmark) []Ratio {
 // returns an error when any shared benchmark's ns/op regressed by more
 // than threshold. A missing baseline file only logs a note.
 func gate(w io.Writer, cur *Report, baselinePath string, threshold float64) error {
-	data, err := os.ReadFile(baselinePath)
+	base, err := loadReport(baselinePath)
 	if os.IsNotExist(err) {
 		fmt.Fprintf(w, "benchreport: no baseline at %s; regression gate dormant\n", baselinePath)
 		return nil
@@ -225,20 +250,41 @@ func gate(w io.Writer, cur *Report, baselinePath string, threshold float64) erro
 	if err != nil {
 		return err
 	}
-	var base Report
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	return diffReports(w, base, cur, threshold)
+}
+
+// loadReport reads and decodes one recorded report. A missing file is
+// returned as the bare os.IsNotExist error so gate can stay dormant.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// diffReports prints the per-benchmark ns/op delta table between two
+// reports and returns an error when any shared benchmark regressed by
+// more than threshold. Benchmarks present on only one side carry no
+// verdict, but their counts are noted: a silently shrunk benchmark set
+// would otherwise read as a clean pass.
+func diffReports(w io.Writer, base, cur *Report, threshold float64) error {
 	baseNs := map[string]float64{}
 	for _, b := range base.Benchmarks {
 		baseNs[b.Name] = b.NsOp
 	}
 	var regressed []string
+	shared := 0
 	for _, b := range cur.Benchmarks {
 		was, ok := baseNs[b.Name]
 		if !ok || was == 0 {
 			continue
 		}
+		shared++
 		change := b.NsOp/was - 1
 		status := "ok"
 		if change > threshold {
@@ -247,6 +293,10 @@ func gate(w io.Writer, cur *Report, baselinePath string, threshold float64) erro
 		}
 		fmt.Fprintf(w, "%-50s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			b.Name, was, b.NsOp, change*100, status)
+	}
+	if onlyOld, onlyNew := len(base.Benchmarks)-shared, len(cur.Benchmarks)-shared; onlyOld > 0 || onlyNew > 0 {
+		fmt.Fprintf(w, "benchreport: %d benchmark(s) only in the old report, %d only in the new; no verdict on those\n",
+			onlyOld, onlyNew)
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",

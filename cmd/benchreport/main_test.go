@@ -103,6 +103,54 @@ func TestGateRegression(t *testing.T) {
 	}
 }
 
+// The -compare path: two recorded reports diffed offline, with the
+// strict missing-file behaviour (unlike the dormant -baseline gate) and
+// the only-on-one-side note.
+func TestCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.json", dir+"/new.json"
+
+	if _, err := loadReport(oldPath); !os.IsNotExist(err) {
+		t.Fatalf("missing compare input must surface as not-exist, got %v", err)
+	}
+
+	old := buildReport(sampleOutput)
+	writeJSON(t, oldPath, old)
+
+	cur := *old
+	cur.Benchmarks = append([]Benchmark(nil), old.Benchmarks...)
+	cur.Benchmarks[0].NsOp *= 1.5 // past the 25% threshold
+	cur.Benchmarks = cur.Benchmarks[:len(cur.Benchmarks)-1]
+	cur.Benchmarks = append(cur.Benchmarks, Benchmark{Name: "BenchmarkBrandNew", NsOp: 10})
+	writeJSON(t, newPath, &cur)
+
+	base, err := loadReport(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := loadReport(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = diffReports(&out, base, next, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not detected: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("delta table lacks the verdict: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "1 benchmark(s) only in the old report, 1 only in the new") {
+		t.Fatalf("one-sided benchmarks not noted: %q", out.String())
+	}
+
+	// Under a looser threshold the same pair passes.
+	if err := diffReports(&out, base, next, 0.60); err != nil {
+		t.Fatalf("60%% threshold must tolerate a +50%% drift: %v", err)
+	}
+}
+
 func writeJSON(t *testing.T, path string, rep *Report) {
 	t.Helper()
 	data, err := json.Marshal(rep)

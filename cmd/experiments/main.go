@@ -28,6 +28,9 @@ import (
 
 	"twoview/internal/core"
 	"twoview/internal/eval"
+
+	// Arm the -shards flag (registers the sharded engine with core).
+	_ "twoview/internal/shard"
 )
 
 type experiment struct {
@@ -88,9 +91,11 @@ func main() {
 		out     = flag.String("out", "", "directory for per-experiment output files (default: stdout only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "worker goroutines for mining and candidate generation (0 = GOMAXPROCS, 1 = serial); results are identical")
+		shards  = flag.Int("shards", 0, "item-range shards for the supervised sharded engine (0 = monolithic); results are identical")
 	)
 	flag.Parse()
 	eval.Workers = *workers
+	eval.Shards = *shards
 	// One persistent worker session serves the whole batch: every
 	// experiment's mining rounds reuse the same parked workers.
 	eval.Session = core.NewSession()

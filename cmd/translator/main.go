@@ -5,7 +5,7 @@
 // Usage:
 //
 //	translator -in data.tv [-algo select|exact|greedy] [-k 1] [-minsup 1]
-//	           [-max-rules 0] [-workers 0] [-trace] [-dot out.dot]
+//	           [-max-rules 0] [-workers 0] [-shards 0] [-trace] [-dot out.dot]
 package main
 
 import (
@@ -21,6 +21,9 @@ import (
 	"twoview/internal/eval"
 	"twoview/internal/mdl"
 	"twoview/internal/shutdown"
+
+	// Arm the -shards flag (registers the sharded engine with core).
+	_ "twoview/internal/shard"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 		minsup   = flag.Int("minsup", 1, "minimum candidate support for select/greedy")
 		maxRules = flag.Int("max-rules", 0, "stop after this many rules (0 = MDL stopping only)")
 		workers  = flag.Int("workers", 0, "worker goroutines for search and candidate mining (0 = GOMAXPROCS, 1 = serial); results are identical")
+		shards   = flag.Int("shards", 0, "item-range shards for the supervised sharded engine (0 = monolithic); results are identical")
 		trace    = flag.Bool("trace", false, "print each iteration as it happens")
 		dotOut   = flag.String("dot", "", "also write a Graphviz visualization to this file")
 		saveOut  = flag.String("save", "", "write the mined translation table to this file")
@@ -96,7 +100,7 @@ func main() {
 	// session (parked workers, no per-round goroutine launches).
 	sess := core.NewSession()
 	defer sess.Close()
-	par := core.ParallelOptions{Workers: *workers, Session: sess}
+	par := core.ParallelOptions{Workers: *workers, Shards: *shards, Session: sess}
 	var res *core.Result
 	var mineErr error
 	switch *algo {

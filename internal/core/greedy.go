@@ -82,6 +82,11 @@ type greedyScore struct {
 // uncancelled context the result is bit-identical for every worker
 // count and the error is nil.
 func MineGreedy(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt GreedyOptions) (*Result, error) {
+	if m, err := shardEngine(opt.Shards); err != nil {
+		return nil, err
+	} else if m != nil {
+		return m.MineGreedy(ctx, d, cands, opt)
+	}
 	elapsed := stopwatch()
 	coder := mdl.NewCoder(d)
 	s := NewState(d, coder)

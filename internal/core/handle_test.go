@@ -64,6 +64,167 @@ func TestTranslatorHandleSwapAndEpochs(t *testing.T) {
 	}
 }
 
+// The scripted interleavings below replay, step by explicit step, the
+// orderings the hammer test can only hope to hit: each party's next
+// move is sequenced by the test, so every run exercises exactly the
+// claimed schedule.
+
+// The Acquire retry window: a Swap lands between a reader's epoch load
+// and its reference bump. The test performs Acquire's steps by hand
+// around a real Swap, pinning the backout path — including the
+// documented subtlety that the retired epoch's refcount touches zero
+// twice (once when Swap drops the installation reference, once when
+// the backed-out reader re-releases) without double-closing the drain.
+func TestTranslatorHandleScriptedAcquireSwapBackout(t *testing.T) {
+	trA, trB, _ := handleFixture(t)
+	h := NewTranslatorHandle(trA)
+
+	// Reader step 1: load the current epoch, but don't pin it yet.
+	stale := h.cur.Load()
+
+	// Writer: swap. The loaded epoch is retired with no references
+	// outstanding, so it is already drained.
+	old := h.Swap(trB)
+	if old != stale {
+		t.Fatal("script broken: swap retired a different epoch than the reader loaded")
+	}
+	if err := old.Drain(context.Background()); err != nil {
+		t.Fatalf("reference-free retired epoch not drained: %v", err)
+	}
+
+	// Reader steps 2-3: bump the stale epoch, notice the swap, back
+	// out — the body of Acquire's retry loop.
+	stale.refs.Add(1)
+	if h.cur.Load() == stale {
+		t.Fatal("script broken: stale epoch is still current")
+	}
+	stale.Release()
+
+	// The zero-crossing from the backout must be idempotent: still
+	// drained, no panic, and a real Acquire lands on the new epoch.
+	if err := old.Drain(context.Background()); err != nil {
+		t.Fatalf("drain signal lost after backout: %v", err)
+	}
+	e := h.Acquire()
+	defer e.Release()
+	if e.Epoch() != 2 || e.Translator() != trB {
+		t.Fatalf("post-backout Acquire = epoch %d, want 2 on the new table", e.Epoch())
+	}
+}
+
+// Drain-while-Swap-while-Acquire, fully sequenced: a reader pins epoch
+// 1; the writer swaps and blocks in Drain; readers churn on epoch 2
+// (admission never stalls behind a drain, and their releases must not
+// leak into epoch 1's count); a context-bounded Drain times out while
+// the epoch is pinned; only the pinned reader's release unblocks the
+// writer — who then still holds a fully readable epoch-1 view.
+func TestTranslatorHandleScriptedDrainSwapAcquire(t *testing.T) {
+	trA, trB, _ := handleFixture(t)
+	h := NewTranslatorHandle(trA)
+
+	reader := h.Acquire()
+	old := h.Swap(trB)
+
+	drained := make(chan error, 1)
+	go func() { drained <- old.Drain(context.Background()) }()
+
+	// Pinned epoch: the blocking Drain must not return, and a
+	// deadline-bounded one must report the deadline, not success.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	if err := old.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("bounded Drain on a pinned epoch = %v, want deadline", err)
+	}
+	cancel()
+
+	// Epoch-2 churn: admission proceeds, and returning epoch 2 to idle
+	// must not satisfy epoch 1's drain.
+	for i := 0; i < 3; i++ {
+		e := h.Acquire()
+		if e.Epoch() != 2 {
+			t.Fatalf("churn Acquire = epoch %d, want 2", e.Epoch())
+		}
+		e.Release()
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) while epoch 1 was pinned", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The pinned reader's table must still be epoch 1's, in full.
+	ids, err := reader.Translator().TranslateIDs(nil, dataset.Left, []int{0})
+	if err != nil || len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("pinned reader lost its epoch-1 view: ids=%v err=%v", ids, err)
+	}
+
+	reader.Release()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain after the last release: %v", err)
+	}
+}
+
+// The epoch chain out of order: drain waiters parked on the installed
+// epoch survive reader churn and a double swap; a later retired epoch
+// (empty) drains before an earlier one (pinned); the earlier epoch's
+// waiters — both parked before and arriving after its swap — all
+// unblock on its final release.
+func TestTranslatorHandleScriptedEpochChain(t *testing.T) {
+	trA, trB, _ := handleFixture(t)
+	h := NewTranslatorHandle(trA)
+
+	pin := h.Acquire()
+	e1 := h.cur.Load()
+	w1, w2 := make(chan error, 1), make(chan error, 1)
+	go func() { w1 <- e1.Drain(context.Background()) }()
+	go func() { w2 <- e1.Drain(context.Background()) }()
+
+	// Churn on the installed epoch: refs returns to its idle value
+	// (installation + pin), which must not look like a drain.
+	for i := 0; i < 3; i++ {
+		e := h.Acquire()
+		e.Release()
+	}
+	select {
+	case <-w1:
+		t.Fatal("Drain of the installed epoch returned before any Swap")
+	case <-w2:
+		t.Fatal("Drain of the installed epoch returned before any Swap")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Double swap: epoch 1 retires pinned, epoch 2 retires empty.
+	old1 := h.Swap(trB)
+	old2 := h.Swap(trA)
+	if old1 != e1 || old1.Epoch() != 1 || old2.Epoch() != 2 {
+		t.Fatalf("retired epochs %d, %d; want 1, 2", old1.Epoch(), old2.Epoch())
+	}
+
+	// Epoch 2 drains immediately — out of order with pinned epoch 1.
+	if err := old2.Drain(context.Background()); err != nil {
+		t.Fatalf("empty retired epoch 2 did not drain: %v", err)
+	}
+	select {
+	case <-w1:
+		t.Fatal("epoch 1 drained while pinned")
+	case <-w2:
+		t.Fatal("epoch 1 drained while pinned")
+	default:
+	}
+
+	// A third waiter arrives after the swaps; the release wakes all.
+	w3 := make(chan error, 1)
+	go func() { w3 <- old1.Drain(context.Background()) }()
+	pin.Release()
+	for i, w := range []chan error{w1, w2, w3} {
+		if err := <-w; err != nil {
+			t.Fatalf("waiter %d: %v", i+1, err)
+		}
+	}
+	if _, ep := h.Current(); ep != 3 {
+		t.Fatalf("final epoch = %d, want 3", ep)
+	}
+}
+
 // Hammer the handle with concurrent readers while a writer swaps
 // between two tables, asserting (a) every read is internally
 // consistent — a request's translation matches the epoch it pinned,

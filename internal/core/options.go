@@ -66,6 +66,19 @@ type ParallelOptions struct {
 	// parallelism (no goroutines are spawned). Results are identical
 	// regardless of the value.
 	Workers int
+	// Shards opts the miner into the supervised sharded engine
+	// (internal/shard): the columnar cover state is partitioned by item
+	// range into this many shard goroutine groups that exchange only
+	// messages with a coordinator — no shared State — with lease-based
+	// crash recovery. 0 (the default) runs the monolithic in-process
+	// engine; any value >= 1 runs the sharded one (1 still exercises
+	// the full message protocol, with a single shard). Results are
+	// bit-identical to the monolith for every shard count, worker
+	// count, and injected failure schedule. Requires the shard engine
+	// to be linked in: importing the twoview facade (or
+	// twoview/internal/shard directly) registers it; with neither
+	// linked, Shards > 0 is an error.
+	Shards int
 	// Session is the persistent worker runtime to run on; nil means the
 	// shared package-wide runtime. See Session.
 	Session *Session

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"twoview/internal/bitset"
+	"twoview/internal/dataset"
+	"twoview/internal/mdl"
+)
+
+// splitRange partitions [0, m) into n ascending contiguous ranges, the
+// same balanced split internal/shard uses.
+func splitRange(m, n, p int) (lo, hi int) {
+	return p * m / n, (p + 1) * m / n
+}
+
+// partitionAll builds the n PartialStates covering both item alphabets.
+func partitionAll(d *dataset.Dataset, n int) []*PartialState {
+	parts := make([]*PartialState, n)
+	for p := 0; p < n; p++ {
+		loL, hiL := splitRange(d.Items(dataset.Left), n, p)
+		loR, hiR := splitRange(d.Items(dataset.Right), n, p)
+		parts[p] = NewPartialState(d, loL, hiL, loR, hiR)
+	}
+	return parts
+}
+
+// TestPartialStateMirrorsState drives a realistic rule sequence through
+// a monolithic State and, in parallel, through every partition count in
+// the acceptance grid, checking after every rule that
+//
+//   - the merged ScoreDir counts reproduce gainDir's floats exactly,
+//   - CoverTotals reproduces the scalar summaries exactly,
+//   - TubMirror (fed by the apply covered tidsets) reproduces tub
+//     exactly, and
+//   - the partitions' columns equal the owned slices of the State's.
+func TestPartialStateMirrorsState(t *testing.T) {
+	d := plantedDataset(t, 101)
+	coder := mdl.NewCoder(d)
+	// A realistic rule log: whatever SELECT mines, which exercises
+	// covered and error updates across both views.
+	cands := mustCandidates(t, d, 5, 0, ParallelOptions{Workers: 1})
+	table := mustSelect(t, d, cands, SelectOptions{K: 3}).Table
+	if len(table.Rules) == 0 {
+		t.Fatal("planted dataset mined no rules; test is vacuous")
+	}
+
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		s := NewState(d, coder)
+		parts := partitionAll(d, shards)
+		totals := NewCoverTotals(d, coder)
+		tubm := NewTubMirror(d, coder)
+
+		if totals.UOnes != [2]int{s.uOnes[0], s.uOnes[1]} || totals.CorrLen != s.corrLen {
+			t.Fatalf("shards=%d: initial totals diverge: %+v vs %v/%v", shards, totals, s.uOnes, s.corrLen)
+		}
+
+		for ri, r := range table.Rules {
+			// Scoring parity before the rule is applied.
+			tidX := d.SupportSet(dataset.Left, r.X)
+			tidY := d.SupportSet(dataset.Right, r.Y)
+			var fwdParts, backParts [][]ItemCount
+			for _, ps := range parts {
+				fwdParts = append(fwdParts, ps.ScoreDir(dataset.Right, tidX, r.Y, nil))
+				backParts = append(backParts, ps.ScoreDir(dataset.Left, tidY, r.X, nil))
+			}
+			if got, want := GainFromCounts(coder, dataset.Right, fwdParts...), s.gainDir(dataset.Left, tidX, r.Y); got != want {
+				t.Fatalf("shards=%d rule %d: fwd gain %v != gainDir %v", shards, ri, got, want)
+			}
+			if got, want := GainFromCounts(coder, dataset.Left, backParts...), s.gainDir(dataset.Right, tidY, r.X); got != want {
+				t.Fatalf("shards=%d rule %d: back gain %v != gainDir %v", shards, ri, got, want)
+			}
+
+			// Apply through both paths.
+			fwdParts, backParts = fwdParts[:0], backParts[:0]
+			for _, ps := range parts {
+				pc := ps.Apply(r, nil, nil, func(target dataset.View, item int, covered *bitset.Set) {
+					tubm.ApplyItem(target, item, covered)
+				})
+				fwdParts = append(fwdParts, pc.Fwd)
+				backParts = append(backParts, pc.Back)
+			}
+			totals.Apply(r, fwdParts, backParts)
+			s.AddRule(r)
+
+			if totals.UOnes != s.uOnes || totals.EOnes != s.eOnes || totals.CorrLen != s.corrLen {
+				t.Fatalf("shards=%d rule %d: totals diverge:\n got %+v\nwant %v %v %v",
+					shards, ri, totals, s.uOnes, s.eOnes, s.corrLen)
+			}
+			sub := &Table{Rules: table.Rules[:ri+1]}
+			if got, want := totals.Score(sub), s.Score(); got != want {
+				t.Fatalf("shards=%d rule %d: score %v != %v", shards, ri, got, want)
+			}
+			for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+				for tr := 0; tr < d.Size(); tr++ {
+					if got, want := tubm.tub[v][tr], s.tub[v][tr]; got != want {
+						t.Fatalf("shards=%d rule %d: tub[%v][%d] %v != %v", shards, ri, v, tr, got, want)
+					}
+				}
+			}
+		}
+
+		// Column parity and replay determinism after the full log.
+		for p, ps := range parts {
+			replayed := NewPartialState(d,
+				ps.lo[dataset.Left], ps.hi[dataset.Left],
+				ps.lo[dataset.Right], ps.hi[dataset.Right])
+			replayed.Replay(table.Rules, nil)
+			for _, v := range []dataset.View{dataset.Left, dataset.Right} {
+				lo, hi := ps.Range(v)
+				for i := lo; i < hi; i++ {
+					if !ps.UncoveredCol(v, i).Equal(s.UncoveredCol(v, i)) ||
+						!ps.ErrorsCol(v, i).Equal(s.ErrorsCol(v, i)) {
+						t.Fatalf("shards=%d part %d: columns diverge at view %v item %d", shards, p, v, i)
+					}
+					if !replayed.UncoveredCol(v, i).Equal(ps.UncoveredCol(v, i)) ||
+						!replayed.ErrorsCol(v, i).Equal(ps.ErrorsCol(v, i)) {
+						t.Fatalf("shards=%d part %d: replay diverges at view %v item %d", shards, p, v, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartialStateScoreRuleMatchesScoreDir pins the convenience wrapper
+// (which computes supports itself when none are passed) to the explicit
+// path.
+func TestPartialStateScoreRuleMatchesScoreDir(t *testing.T) {
+	d := plantedDataset(t, 102)
+	cands := mustCandidates(t, d, 5, 0, ParallelOptions{Workers: 1})
+	ps := NewPartialState(d, 0, d.Items(dataset.Left), 0, d.Items(dataset.Right))
+	for ci := range cands {
+		c := &cands[ci]
+		cached := ps.ScoreRule(c.X, c.Y, c.TidX, c.TidY, nil, nil)
+		fresh := ps.ScoreRule(c.X, c.Y, nil, nil, nil, nil)
+		if len(cached.Fwd) != len(fresh.Fwd) || len(cached.Back) != len(fresh.Back) {
+			t.Fatalf("cand %d: count lengths diverge", ci)
+		}
+		for i := range cached.Fwd {
+			if cached.Fwd[i] != fresh.Fwd[i] {
+				t.Fatalf("cand %d fwd[%d]: %+v != %+v", ci, i, cached.Fwd[i], fresh.Fwd[i])
+			}
+		}
+		for i := range cached.Back {
+			if cached.Back[i] != fresh.Back[i] {
+				t.Fatalf("cand %d back[%d]: %+v != %+v", ci, i, cached.Back[i], fresh.Back[i])
+			}
+		}
+	}
+}

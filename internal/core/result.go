@@ -69,9 +69,15 @@ func (res *Result) record(s *State, r Rule, gain float64, trace TraceFunc, onIte
 	return true
 }
 
-// gainEpsilon guards against accepting rules whose gain is positive only
-// through floating-point noise.
-const gainEpsilon = 1e-9
+// GainEpsilon guards against accepting rules whose gain is positive
+// only through floating-point noise. Exported for the sharded engine
+// (internal/shard), which must apply the identical acceptance threshold
+// to stay bit-identical to the monolith.
+const GainEpsilon = 1e-9
+
+// gainEpsilon is the package-internal name the miners predate the
+// export with.
+const gainEpsilon = GainEpsilon
 
 // stopwatch starts timing and returns a function reporting the elapsed
 // wall time. It is the single sanctioned wall-clock read in this

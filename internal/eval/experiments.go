@@ -27,6 +27,13 @@ import (
 // as -workers.
 var Workers int
 
+// Shards is the item-range shard count every runner passes to the
+// miners: 0 runs the monolithic engine, > 0 opts into the supervised
+// sharded engine (which the caller must link in — cmd/experiments
+// blank-imports internal/shard and exposes this as -shards). Results
+// are identical regardless.
+var Shards int
+
 // Session is the persistent worker runtime the runners mine on; nil
 // means the shared package-wide runtime. A caller running a long batch
 // of experiments can install one (and Close it afterwards) so every
@@ -35,7 +42,7 @@ var Session *core.Session
 
 // par returns the shared ParallelOptions of the runners.
 func par() core.ParallelOptions {
-	return core.ParallelOptions{Workers: Workers, Session: Session}
+	return core.ParallelOptions{Workers: Workers, Shards: Shards, Session: Session}
 }
 
 // Gen materializes a profile at the given scale.

@@ -4,7 +4,9 @@ package fault
 
 import (
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -83,6 +85,87 @@ func TestDelay(t *testing.T) {
 	}
 	if d := time.Since(start); d < 25*time.Millisecond {
 		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+// The shard supervisor evaluates points from its own goroutine while
+// every shard incarnation's workers evaluate the same points — and the
+// test harness calls Set/Reset between (and, on restarts, effectively
+// during) rounds. The registry contract under that contention:
+// no data races, and every scheduled action consumed exactly once.
+func TestConcurrentSetResetVsFire(t *testing.T) {
+	defer Reset()
+	const (
+		evaluators = 8
+		rounds     = 40
+	)
+	stop := make(chan struct{})
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < evaluators; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := Point("stress"); err != nil {
+					consumed.Add(1)
+				}
+				Fire("stress.quiet") // never scheduled: pure pass-through
+			}
+		}()
+	}
+	// The scheduler goroutine: re-arm, let the evaluators chew, clear —
+	// racing Set and Reset against in-flight Point calls the whole time.
+	boom := errors.New("stress")
+	for r := 0; r < rounds; r++ {
+		Set("stress", Action{Err: boom}, Action{Err: boom}, Action{Err: boom})
+		for Hits("stress") < 3 { // spin until the schedule was surely reached
+			runtime.Gosched()
+		}
+		if r%5 == 0 {
+			Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Every Set replaces the previous schedule, and Reset may discard
+	// unconsumed actions — so consumed is bounded by, not equal to, the
+	// scheduled total. The real assertions are the race detector and
+	// that consumption never exceeded what was scheduled.
+	if got, max := consumed.Load(), int64(rounds*3); got == 0 || got > max {
+		t.Fatalf("consumed %d scheduled errors, want (0, %d]", got, max)
+	}
+}
+
+// FIFO order must survive a concurrent Set: a replaced schedule is
+// either the old list or the new one, never an interleaving — observed
+// here as a single consumer always seeing the new schedule's actions in
+// order after Set returns.
+func TestSetReplacesScheduleAtomically(t *testing.T) {
+	defer Reset()
+	errOld, errNew1, errNew2 := errors.New("old"), errors.New("new1"), errors.New("new2")
+	for i := 0; i < 100; i++ {
+		Set("p", Action{Err: errOld}, Action{Err: errOld})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			Set("p", Action{Err: errNew1}, Action{Err: errNew2})
+		}()
+		<-done
+		if err := Point("p"); !errors.Is(err, errNew1) {
+			t.Fatalf("iter %d hit 1: %v, want new1", i, err)
+		}
+		if err := Point("p"); !errors.Is(err, errNew2) {
+			t.Fatalf("iter %d hit 2: %v, want new2", i, err)
+		}
+		if err := Point("p"); err != nil {
+			t.Fatalf("iter %d hit 3: %v, want exhausted pass-through", i, err)
+		}
 	}
 }
 

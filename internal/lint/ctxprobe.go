@@ -20,7 +20,7 @@ var Ctxprobe = &Analyzer{
 	Name:      "ctxprobe",
 	Directive: "ctxprobe-ok",
 	Doc: "require a cancellation checkpoint in miner/DFS/walk loops " +
-		"(internal/core, internal/mine) that submit pool phases or call " +
+		"(internal/core, internal/mine, internal/shard) that submit pool phases or call " +
 		"bitset kernels: a ctx.Err()/ctx.Done() probe, a call threading a " +
 		"context.Context, a select, or a *ProbeMask-gated periodic probe. " +
 		"Loops whose per-iteration work is bounded and probed by the caller " +
@@ -30,8 +30,12 @@ var Ctxprobe = &Analyzer{
 
 // internal/server is in scope because its handlers own per-request
 // deadlines: a serving loop that stops observing its context regresses
-// 504s back into held worker slots.
-var ctxprobeScopes = []string{"internal/core", "internal/mine", "internal/server"}
+// 504s back into held worker slots. internal/shard is in scope because
+// its drivers are the miners' round loops re-homed (DFS, speculation
+// windows, round gathers): a sharded loop that stops observing its
+// context turns cancellation into a wedged supervisor holding N shard
+// goroutine groups.
+var ctxprobeScopes = []string{"internal/core", "internal/mine", "internal/server", "internal/shard"}
 
 // poolPhaseFuncs are the phase-submission entry points of
 // internal/pool: calling one inside a loop makes that loop a

@@ -23,7 +23,7 @@ var Detorder = &Analyzer{
 	Directive: "nondeterministic-ok",
 	Doc: "flag map iteration in result-producing packages " +
 		"(internal/core, internal/mine, internal/pool, internal/eval, " +
-		"internal/server, internal/fault, the facades); " +
+		"internal/server, internal/fault, internal/shard, the facades); " +
 		"map order is randomized per run, so any map range that can influence " +
 		"emitted results breaks the bit-identical-tables contract. " +
 		"Iterate sorted keys, or annotate with //lint:nondeterministic-ok <reason>.",
@@ -35,12 +35,16 @@ var Detorder = &Analyzer{
 // experiment/figure renderers (their output is the reproduced paper),
 // the public facades, and the serving layer (internal/server emits
 // translation responses, internal/fault replays scripted failure
-// schedules — both must be bit-reproducible run to run). Parsers,
-// bit-kernels and baselines are out of scope: their maps are lookups or
-// feed order-insensitive summaries.
+// schedules — both must be bit-reproducible run to run). internal/shard
+// joins with the sharded engine: its coordinator folds per-partition
+// messages into gains, so any map-ordered walk over partitions or
+// pending replies would break the bit-identical-tables contract
+// (replies are merged in partition-index order, never arrival or map
+// order). Parsers, bit-kernels and baselines are out of scope: their
+// maps are lookups or feed order-insensitive summaries.
 var detorderScopes = []string{
 	"", "internal/core", "internal/mine", "internal/pool", "internal/eval",
-	"internal/server", "internal/fault",
+	"internal/server", "internal/fault", "internal/shard",
 }
 
 func runDetorder(pass *Pass) error {

@@ -20,7 +20,7 @@ var Nowallclock = &Analyzer{
 	Doc: "forbid time.Now/time.Since and math/rand in the mining, kernel, " +
 		"translator and serving packages (internal/core, internal/mine, " +
 		"internal/bitset, internal/itemset, internal/mdl, internal/pool, " +
-		"internal/server, internal/fault) outside _test.go files: " +
+		"internal/server, internal/fault, internal/shard) outside _test.go files: " +
 		"timing and randomness must never influence mined tables or served " +
 		"translations. Purely observational sites carry //lint:wallclock-ok <reason>.",
 	Run: runNowallclock,
@@ -32,10 +32,16 @@ var Nowallclock = &Analyzer{
 // wall-clock reads to one annotated helper (server.now) and flag any
 // new site. Timer-based waiting (time.NewTimer, time.Sleep through a
 // scheduled fault delay) is fine; reading the clock is not.
+// internal/shard joins with the sharded engine: its supervision runs
+// entirely on timers (lease expiry re-arms time.NewTimer) precisely so
+// no mining or recovery decision ever reads the clock — a clock-read
+// lease would make failure schedules, and therefore runStats,
+// machine-dependent. Its one observational read (Result.Runtime's
+// stopwatch) is the annotated helper.
 var nowallclockScopes = []string{
 	"internal/core", "internal/mine", "internal/bitset",
 	"internal/itemset", "internal/mdl", "internal/pool",
-	"internal/server", "internal/fault",
+	"internal/server", "internal/fault", "internal/shard",
 }
 
 // wallClockFuncs are the forbidden time package entry points. Duration

@@ -2,11 +2,13 @@ package lint
 
 import "testing"
 
-// The serving layer rides the same determinism contracts as the mining
-// core: translations are pure functions of (table, row) and failpoint
-// schedules replay identically. This pins the scope registration so a
-// future analyzer refactor cannot silently drop internal/server or
-// internal/fault out of coverage.
+// The serving layer and the sharded engine ride the same determinism
+// contracts as the mining core: translations are pure functions of
+// (table, row), failpoint schedules replay identically, and the shard
+// coordinator's folds must be bit-reproducible under every failure
+// schedule. This pins the scope registration so a future analyzer
+// refactor cannot silently drop internal/server, internal/fault or
+// internal/shard out of coverage.
 func TestServingPackagesAreInAnalyzerScope(t *testing.T) {
 	cases := []struct {
 		pkg    string
@@ -15,9 +17,12 @@ func TestServingPackagesAreInAnalyzerScope(t *testing.T) {
 	}{
 		{"twoview/internal/server", "detorder", detorderScopes},
 		{"twoview/internal/fault", "detorder", detorderScopes},
+		{"twoview/internal/shard", "detorder", detorderScopes},
 		{"twoview/internal/server", "ctxprobe", ctxprobeScopes},
+		{"twoview/internal/shard", "ctxprobe", ctxprobeScopes},
 		{"twoview/internal/server", "nowallclock", nowallclockScopes},
 		{"twoview/internal/fault", "nowallclock", nowallclockScopes},
+		{"twoview/internal/shard", "nowallclock", nowallclockScopes},
 	}
 	for _, c := range cases {
 		if !hasScope(c.pkg, c.scopes...) {

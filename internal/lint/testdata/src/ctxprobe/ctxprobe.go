@@ -6,6 +6,7 @@ import (
 	"context"
 
 	"twoview/internal/bitset"
+	"twoview/internal/pool"
 )
 
 // Flagged: unbounded kernel loop with no cancellation checkpoint.
@@ -49,6 +50,27 @@ func SumWeighted(sets []*bitset.Set, w []float64) float64 {
 		total += bitset.WeightedSum(s, w)
 	}
 	return total
+}
+
+// Flagged: the shard-round shape without its probe — a loop submitting
+// one pool phase per round; cancelling the caller would leave the
+// rounds spinning and the workers owned.
+func Rounds(p *pool.Pool[int], rounds, tasks int) {
+	for r := 0; r < rounds; r++ { // want `without a cancellation checkpoint`
+		p.Run(tasks, func(int, int) {})
+	}
+}
+
+// Allowed: the supervised twin — each round's phase runs under a
+// context-threading submission (the shard drivers' RunCtx-under-lease
+// idiom), which is cancellation evidence by itself.
+func RoundsLeased(ctx context.Context, p *pool.Pool[int], rounds, tasks int) error {
+	for r := 0; r < rounds; r++ {
+		if err := p.RunCtx(ctx, tasks, func(int, int) {}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Allowed: delegation — the serving-batch idiom, where each iteration

@@ -44,6 +44,31 @@ func FirstSchedule(schedules map[string][]int) []int {
 	return nil
 }
 
+// Flagged: the shard-coordinator shape — folding gathered replies in
+// map order makes the float accumulation order depend on arrival/map
+// order, breaking the bit-identical-tables contract.
+func FoldReplies(byPart map[int][]float64) float64 {
+	total := 0.0
+	for _, counts := range byPart { // want `map iteration order is nondeterministic`
+		for _, c := range counts {
+			total += c
+		}
+	}
+	return total
+}
+
+// Allowed: the partition-order twin — replies indexed by partition and
+// folded in partition order, regardless of how they arrived.
+func FoldRepliesOrdered(byPart map[int][]float64, parts int) float64 {
+	total := 0.0
+	for p := 0; p < parts; p++ {
+		for _, c := range byPart[p] {
+			total += c
+		}
+	}
+	return total
+}
+
 // Allowed: the sorted-walk twin — the key-collection range is
 // order-insensitive (the sort immediately follows) and says so.
 func SortedSchedules(schedules map[string][]int) [][]int {

@@ -36,6 +36,17 @@ func ServingNow() time.Time {
 	return time.Now()
 }
 
+// Flagged: a clock-read lease — deriving a shard-supervision deadline
+// from the wall clock would make failure schedules (and therefore
+// recovery statistics) machine- and load-dependent.
+func LeaseDeadline(lease time.Duration) time.Time {
+	return time.Now().Add(lease) // want `time.Now in a determinism-critical package`
+}
+
+// Allowed: the shard-supervisor idiom — the lease is a timer, re-armed
+// while the round is incomplete; nothing ever reads the clock.
+func LeaseTimer(lease time.Duration) *time.Timer { return time.NewTimer(lease) }
+
 // Flagged: time.Until reads the clock just as much as time.Now does.
 func Remaining(deadline time.Time) time.Duration {
 	return time.Until(deadline) // want `time.Until in a determinism-critical package`

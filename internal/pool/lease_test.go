@@ -1,0 +1,74 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// An unexpired lease is an uncancelled context: the phase runs every
+// task and the results are exactly those of the plain primitive.
+func TestLeaseUnexpiredRunsAllTasks(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	l := NewLease(context.Background(), time.Hour)
+	defer l.End()
+
+	got, err := MapOrderedIntoCtxOn(rt, l.Context(), nil, 4, 64, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatalf("unexpired lease: err = %v", err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+	if l.Expired() {
+		t.Fatal("lease expired without its deadline passing")
+	}
+}
+
+// A blown lease stops the dispensing of new tasks and surfaces as
+// context.DeadlineExceeded; the runtime stays parked and reusable.
+func TestLeaseExpiryStopsDispensing(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Close()
+	l := NewLease(context.Background(), time.Millisecond)
+
+	var ran atomic.Int64
+	const tasks = 1 << 20
+	_, err := MapOrderedIntoCtxOn(rt, l.Context(), nil, 2, tasks, func(i int) int {
+		ran.Add(1)
+		time.Sleep(200 * time.Microsecond) // ensure the deadline lands mid-phase
+		return i
+	})
+	l.End()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired lease: err = %v, want DeadlineExceeded", err)
+	}
+	if !l.Expired() || !errors.Is(l.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Expired/Err out of sync: expired=%v err=%v", l.Expired(), l.Err())
+	}
+	if n := ran.Load(); n == tasks {
+		t.Fatal("every task ran despite the blown lease")
+	}
+
+	// The drained runtime must accept the next phase as if nothing
+	// happened.
+	got, err := MapOrderedIntoCtxOn(rt, context.Background(), nil, 2, 8, func(i int) int { return i })
+	if err != nil || len(got) != 8 {
+		t.Fatalf("runtime unusable after blown lease: %v %v", got, err)
+	}
+}
+
+// End invalidates the lease immediately, before any deadline.
+func TestLeaseEndInvalidates(t *testing.T) {
+	l := NewLease(context.Background(), time.Hour)
+	l.End()
+	if !l.Expired() {
+		t.Fatal("ended lease still authorizes work")
+	}
+	l.End() // idempotent
+}

@@ -1,0 +1,251 @@
+//go:build faultinject
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"twoview/internal/core"
+	"twoview/internal/fault"
+)
+
+// leaseForTest is the short lease the lease-driven scenarios run under:
+// long enough that a healthy round on the 80-row fixtures never blows
+// it (even under -race on a loaded runner — spurious expiries would
+// only add rebuilds, never break identity, but they would blur what a
+// scenario proves), short enough to keep the stall scenarios fast.
+const leaseForTest = 100 * time.Millisecond
+
+// Chaos coverage for the sharded engine under -tags faultinject: every
+// scenario scripts a failure schedule against a named failpoint
+// (internal/fault), mines through it, and asserts the two halves of the
+// robustness contract — the result is bit-identical to the undisturbed
+// monolith (sameResult: rules rule-for-rule, every iteration float, the
+// final score), and the supervision machinery actually fired (runStats,
+// fault.Hits). References are computed before any schedule is armed.
+//
+// The scenarios map onto the protocol's failure modes:
+//
+//	shard.task      a scoring task panics mid-phase (crash mid-round)
+//	shard.recv      a shard dies on receive, or stalls past its lease
+//	shard.reply     a completion is lost in transit
+//	shard.reply.dup a completion is delivered twice (dedup/reorder)
+//	shard.apply     a shard dies mid-apply (replay-from-log rebuild)
+//	shard.replay    the rebuild itself crashes (supervised restart of
+//	                the restart)
+
+// A panic injected into one shard's scoring task re-raises on the shard
+// proc, which retires with a crash notice; the supervisor rebuilds the
+// partition and re-dispatches, and the round — and the whole mine —
+// completes bit-identically.
+func TestChaosShardCrashMidScore(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 31)
+	cands := mustCandidates(t, d)
+	ref, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Set("shard.task", fault.Action{Skip: 3, Panic: "chaos: poisoned scoring task"})
+	res, stats, err := mineSelect(context.Background(), d, cands,
+		core.SelectOptions{K: 3}, Config{Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault.Hits("shard.task") == 0 {
+		t.Fatal("schedule never fired; scenario is vacuous")
+	}
+	if stats.restarts == 0 {
+		t.Fatal("no partition was rebuilt; the crash went unsupervised")
+	}
+	sameResult(t, "crash mid-score", ref, res)
+}
+
+// A shard that panics on receive dies before producing anything; the
+// supervisor restarts it and hands the successor the in-flight request.
+func TestChaosShardCrashOnReceive(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 37)
+	cands := mustCandidates(t, d)
+	ref, err := core.MineGreedy(context.Background(), d, cands, core.GreedyOptions{BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Set("shard.recv", fault.Action{Skip: 2, Panic: "chaos: killed on receive"})
+	res, stats, err := mineGreedy(context.Background(), d, cands,
+		core.GreedyOptions{BlockSize: 16}, Config{Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.restarts == 0 {
+		t.Fatal("no partition was rebuilt; the crash went unsupervised")
+	}
+	sameResult(t, "crash on receive", ref, res)
+}
+
+// A shard that stalls past its lease is presumed dead: the lease timer
+// rebuilds the partition and re-dispatches, and whatever the stalled
+// incarnation eventually sends is staled by its term. (No assertion on
+// the stale count — the replaced incarnation may also just drop its
+// late completion on its cancelled context; both exits are correct.)
+func TestChaosShardDelayPastLease(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 41)
+	cands := mustCandidates(t, d)
+	ref, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lease := leaseForTest
+	fault.Set("shard.recv", fault.Action{Delay: 6 * lease})
+	res, stats, err := mineSelect(context.Background(), d, cands,
+		core.SelectOptions{K: 2}, Config{Shards: 3, Workers: 1, Lease: lease})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.restarts == 0 {
+		t.Fatal("lease expiry never rebuilt the stalled partition")
+	}
+	sameResult(t, "delay past lease", ref, res)
+}
+
+// A completion lost in transit looks exactly like a stalled shard: the
+// lease recovers it through a rebuilt incarnation whose completion does
+// arrive.
+func TestChaosShardDroppedReply(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 43)
+	cands := mustCandidates(t, d)
+	ref, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Set("shard.reply", fault.Action{Err: errors.New("chaos: completion lost")})
+	res, stats, err := mineSelect(context.Background(), d, cands,
+		core.SelectOptions{K: 3}, Config{Shards: 2, Workers: 2, Lease: leaseForTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.restarts == 0 {
+		t.Fatal("the dropped completion was never recovered")
+	}
+	sameResult(t, "dropped reply", ref, res)
+}
+
+// A duplicated completion is discarded by value — (part, term, seq)
+// dedup — whether it lands inside its own round or trails into the
+// next one as a stale seq.
+func TestChaosShardDuplicateReply(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 47)
+	cands := mustCandidates(t, d)
+	ref, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dup := errors.New("chaos: duplicate delivery")
+	fault.Set("shard.reply.dup",
+		fault.Action{Err: dup}, fault.Action{Err: dup}, fault.Action{Err: dup})
+	res, stats, err := mineSelect(context.Background(), d, cands,
+		core.SelectOptions{K: 3}, Config{Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.stale == 0 {
+		t.Fatal("no duplicate was discarded; dedup untested")
+	}
+	if stats.restarts != 0 {
+		t.Fatalf("duplicates caused %d rebuilds; dedup should be restart-free", stats.restarts)
+	}
+	sameResult(t, "duplicate reply", ref, res)
+}
+
+// A shard that dies mid-apply is rebuilt by replaying the accepted-rule
+// log — which excludes the in-flight rule, delivered instead via the
+// re-dispatched request, so it reaches the successor's columns exactly
+// once. The schedule also kills the first rebuild during its replay,
+// proving the restart path is itself supervised.
+func TestChaosShardCrashDuringApplyAndReplay(t *testing.T) {
+	defer fault.Reset()
+	d := twoPlantDataset(t, 53)
+	cands := mustCandidates(t, d)
+	ref, err := core.MineSelect(context.Background(), d, cands, core.SelectOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Table.Rules) < 2 {
+		t.Fatal("need at least 2 reference rules so a rebuild has a log to replay")
+	}
+
+	// With 2 shards, apply hits 1-2 are the first rule; hit 3 is the
+	// second rule's apply on one shard, whose log then holds rule 1.
+	fault.Set("shard.apply", fault.Action{Skip: 2, Panic: "chaos: killed mid-apply"})
+	fault.Set("shard.replay", fault.Action{Panic: "chaos: killed mid-replay"})
+	res, stats, err := mineSelect(context.Background(), d, cands,
+		core.SelectOptions{K: 3}, Config{Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.restarts < 2 {
+		t.Fatalf("restarts = %d, want >= 2 (the apply crash, then the replay crash)", stats.restarts)
+	}
+	if fault.Hits("shard.replay") == 0 {
+		t.Fatal("no rebuild ever replayed the log")
+	}
+	sameResult(t, "crash during apply+replay", ref, res)
+}
+
+// The EXACT driver under a compound schedule — a poisoned pair-scoring
+// task and a killed apply in the same run — exercising the tub-mirror
+// acknowledgement path through a rebuilt incarnation.
+func TestChaosShardExactCompoundSchedule(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 59)
+	ref, err := core.MineExact(context.Background(), d, core.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Table.Rules) == 0 {
+		t.Fatal("reference mined no rules; test is vacuous")
+	}
+
+	fault.Set("shard.task", fault.Action{Skip: 10, Panic: "chaos: poisoned pair task"})
+	fault.Set("shard.apply", fault.Action{Panic: "chaos: killed mid-apply"})
+	res, stats, err := mineExact(context.Background(), d,
+		core.ExactOptions{}, Config{Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.restarts < 2 {
+		t.Fatalf("restarts = %d, want >= 2 (one per armed point)", stats.restarts)
+	}
+	sameResult(t, "exact compound schedule", ref, res)
+}
+
+// A partition that crashes past the run's restart budget fails the run
+// with an error instead of looping on a deterministically dying shard.
+func TestChaosShardRestartBudgetExhausted(t *testing.T) {
+	defer fault.Reset()
+	d := plantedDataset(t, 61)
+	cands := mustCandidates(t, d)
+
+	boom := fault.Action{Panic: "chaos: persistent crash"}
+	fault.Set("shard.recv", boom, boom, boom, boom)
+	_, _, err := mineSelect(context.Background(), d, cands,
+		core.SelectOptions{K: 3}, Config{Shards: 2, Workers: 1, MaxRestarts: 1})
+	if err == nil {
+		t.Fatal("a persistently crashing shard must fail the run")
+	}
+	if !strings.Contains(err.Error(), "restart budget") {
+		t.Fatalf("err = %v, want the restart-budget failure", err)
+	}
+}

@@ -1,0 +1,17 @@
+package shard
+
+import "time"
+
+// stopwatch starts timing and returns a function reporting the elapsed
+// wall time — the single sanctioned wall-clock read in this package,
+// mirroring core's: the duration lands in Result.Runtime, observational
+// metadata only. Everything time-dependent in the engine proper — lease
+// deadlines, expiry detection — runs on timers (context.WithTimeout,
+// time.NewTimer), never on wall-clock reads, so no supervision decision
+// can depend on absolute time.
+func stopwatch() func() time.Duration {
+	start := time.Now() //lint:wallclock-ok observational: feeds Result.Runtime only, never a mining or supervision decision
+	return func() time.Duration {
+		return time.Since(start) //lint:wallclock-ok observational: feeds Result.Runtime only, never a mining or supervision decision
+	}
+}

@@ -1,0 +1,115 @@
+// Package shard is the supervised sharded mining engine behind
+// core.ParallelOptions.Shards: the columnar cover state is partitioned
+// by item range into N shard goroutine groups that own their ucol/ecol
+// columns privately (core.PartialState) and exchange only small
+// messages with a coordinator — no shared State. The engine runs all
+// three TRANSLATOR searches (EXACT, SELECT, GREEDY) bit-identical to
+// the monolithic in-process miners for every shard count, worker
+// count, and injected failure schedule.
+//
+// # Architecture
+//
+// One mining call builds a run: a supervisor goroutine (the caller's)
+// and cfg.Shards shard procs, each a goroutine group owning one
+// Partition of both item alphabets. Mining proceeds in rounds, each a
+// leased broadcast-gather:
+//
+//	supervisor                      shard p (one of N)
+//	----------                      ------------------
+//	seq++; for every partition:
+//	  dispatch req{seq, term, lease} ──▶ mailbox
+//	                                 score/apply on the partition
+//	                                 (workers-wide phase under the
+//	                                  lease, internal/pool.Lease)
+//	  gather  ◀── reply{part, term, seq, counts}
+//	  merge in partition order (bit-identical fold, see below)
+//
+// Shards never talk to each other, never share mutable state with the
+// coordinator, and hold no floats: a shard computes integer per-item
+// (covered, errors) pairs with the same fused popcount kernels the
+// monolith uses, and the coordinator performs all float accumulation
+// in exactly the monolith's order (core.GainFromCounts,
+// core.CoverTotals, core.TubMirror). Integer counts are schedule- and
+// failure-independent, which is what makes the whole engine so.
+//
+// # Supervision: leases, terms, replay
+//
+// The coordinator is a supervisor, not a barrier. Every dispatched
+// message is a lease with a deadline; a shard that panics, crashes by
+// fault injection, or blows its lease is torn down and its partition
+// rebuilt: the supervisor bumps the partition's term (incarnation
+// number), spawns a fresh proc that reconstructs its columns from the
+// accepted-rule log (core.PartialState Replay — a pure function of
+// dataset, ranges and log), and re-dispatches the in-flight request.
+// Replies are deduplicated by (partition, term, seq): duplicated
+// completions, reordered completions, and completions from abandoned
+// incarnations are discarded by value, never by timing. The rule log
+// is appended only after an apply round fully completes, so a shard
+// rebuilt mid-apply replays the log without the in-flight rule and
+// then applies it via the re-dispatch — never twice.
+//
+// Shards also self-bound: each scoring phase runs under the granted
+// lease (pool.Lease), so a shard that cannot finish in time drains its
+// own phase, retires the incarnation with a crash notice, and frees
+// its workers instead of wedging them.
+//
+// # Message protocol (the future TCP wire format)
+//
+// The in-process message types below are written down as the wire
+// format a TCP transport will speak; in-process fields that are Go
+// pointers into shared immutable structures become explicit transfers
+// at bootstrap, exactly once per run:
+//
+//	HELLO     coordinator → shard: dataset (or its content hash for a
+//	          shard-local cache), the partition's item ranges
+//	          [loL,hiL)×[loR,hiR), and the candidate announcement (the
+//	          candidate itemsets, for SELECT/GREEDY runs; shards
+//	          compute and cache the support tidsets themselves — they
+//	          are dataset-static). In-process: the shared *Dataset and
+//	          []Candidate pointers carried by the run.
+//	SCORE     coordinator → shard: {seq, term, lease} plus either
+//	          candidate indices (SELECT/GREEDY: u32 indices into the
+//	          announced candidate list) or inline pairs (EXACT: two
+//	          item-id arrays per pair). Shard replies with, per entry,
+//	          the owned consequent items' (item, covered, errors)
+//	          integer triples in item order — both rule directions.
+//	          Zero triples may be run-length compressed on the wire;
+//	          the fold skips them by value either way.
+//	APPLY     coordinator → shard: {seq, term, lease, rule}. The shard
+//	          updates its columns and replies with the same per-item
+//	          triples for the applied rule; when the request sets
+//	          want_cover (EXACT runs), each triple additionally carries
+//	          the covered transaction-id bitmap, from which the
+//	          coordinator maintains its transaction-granular bounds
+//	          (core.TubMirror). This is the only message whose size
+//	          scales with |D|, and it flows once per accepted rule.
+//	CRASH     shard → coordinator: {part, term} — a voluntary retire
+//	          notice (recovered panic or self-detected lease blowout).
+//	          On TCP the same path is a broken/timed-out connection;
+//	          the supervisor's lease timer already covers silent death.
+//
+// All replies carry (part, term, seq) for the dedup rule above, so the
+// transport may deliver duplicates or reorder freely; the protocol is
+// idempotent at the receiver by discard, not by re-execution.
+//
+// # Failpoints
+//
+// Under -tags faultinject (see internal/fault) the engine exposes:
+//
+//	shard.dispatch   supervisor, before handing a request to a mailbox
+//	shard.recv       shard, on taking a request (Delay = stall a shard
+//	                 past its lease; Panic = crash before any work)
+//	shard.task       shard, around each scoring task of a phase
+//	                 (Panic = crash mid-phase on a pool worker)
+//	shard.apply      shard, before applying an accepted rule
+//	shard.reply      shard, before sending a completion (Err = drop
+//	                 the message; the lease expires and recovery runs)
+//	shard.reply.dup  shard, after sending (Err = send the completion
+//	                 twice, exercising the dedup rule)
+//	shard.replay     shard, per replayed rule during a rebuild
+//	                 (Panic = crash during recovery itself)
+//
+// The chaos suite (chaos_test.go, `make chaos-shard`) scripts these
+// and asserts the mined table stays reference-identical while
+// recovery demonstrably fired.
+package shard

@@ -1,0 +1,32 @@
+package shard
+
+import (
+	"context"
+
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+)
+
+// engine adapts the package's drivers to core.ShardMiner. core cannot
+// import this package (shard builds on core), so the wiring is
+// inverted: init below registers the engine, and anything that links
+// internal/shard in — the twoview facade, both CLIs — arms
+// core.ParallelOptions.Shards.
+type engine struct{}
+
+func init() { core.RegisterShardMiner(engine{}) }
+
+func (engine) MineExact(ctx context.Context, d *dataset.Dataset, opt core.ExactOptions) (*core.Result, error) {
+	res, _, err := mineExact(ctx, d, opt, configFrom(opt.ParallelOptions))
+	return res, err
+}
+
+func (engine) MineSelect(ctx context.Context, d *dataset.Dataset, cands []core.Candidate, opt core.SelectOptions) (*core.Result, error) {
+	res, _, err := mineSelect(ctx, d, cands, opt, configFrom(opt.ParallelOptions))
+	return res, err
+}
+
+func (engine) MineGreedy(ctx context.Context, d *dataset.Dataset, cands []core.Candidate, opt core.GreedyOptions) (*core.Result, error) {
+	res, _, err := mineGreedy(ctx, d, cands, opt, configFrom(opt.ParallelOptions))
+	return res, err
+}

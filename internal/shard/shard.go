@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"twoview/internal/bitset"
+	"twoview/internal/core"
+	"twoview/internal/dataset"
+	"twoview/internal/mdl"
+	"twoview/internal/pool"
+)
+
+// Config sizes one sharded mining run. The zero value of every field
+// selects a default; none of the fields influence the mined table.
+type Config struct {
+	// Shards is the number of item-range partitions, each owned by one
+	// shard proc; values < 1 mean 1 (a single shard still runs the full
+	// message protocol). Results are identical for every value.
+	Shards int
+	// Workers sets each shard's scoring-pool size, like
+	// core.ParallelOptions.Workers: 0 means GOMAXPROCS, 1 disables
+	// parallelism inside the shard. Results are identical regardless.
+	Workers int
+	// Lease is the deadline granted with every dispatched message; a
+	// shard that has not completed within it is presumed dead and its
+	// partition is rebuilt. 0 means DefaultLease. Too-short leases cost
+	// rebuild work, never correctness: a late completion from a
+	// replaced incarnation is discarded by term.
+	Lease time.Duration
+	// MaxRestarts caps partition rebuilds per run; past it the run
+	// fails rather than loop on a deterministically crashing shard
+	// (e.g. a persistent fault schedule). 0 means DefaultMaxRestarts.
+	MaxRestarts int
+}
+
+// Defaults for Config's zero fields. The lease default is generous: it
+// is a liveness failsafe, not a pacing mechanism, and only has to beat
+// the longest legitimate phase of a round.
+const (
+	DefaultLease       = 10 * time.Second
+	DefaultMaxRestarts = 100
+)
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Lease <= 0 {
+		c.Lease = DefaultLease
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = DefaultMaxRestarts
+	}
+	return c
+}
+
+// configFrom maps the miner-facing knobs to a shard Config.
+func configFrom(par core.ParallelOptions) Config {
+	return Config{Shards: par.Shards, Workers: par.Workers}
+}
+
+// Partition is one shard's slice of both item alphabets: the items
+// [LoL, HiL) of the left view and [LoR, HiR) of the right view. The
+// split is by contiguous ascending ranges, so concatenating the
+// partitions' per-item messages in partition order walks the full
+// alphabet in item order — which is what keeps the coordinator's float
+// folds in the monolith's exact accumulation order.
+type Partition struct {
+	Index    int
+	LoL, HiL int
+	LoR, HiR int
+}
+
+// split partitions both alphabets into n balanced contiguous ranges
+// (range p is [p·m/n, (p+1)·m/n)). n may exceed the item count; the
+// excess partitions are empty and their shards answer every round with
+// empty counts.
+func split(d *dataset.Dataset, n int) []Partition {
+	mL, mR := d.Items(dataset.Left), d.Items(dataset.Right)
+	parts := make([]Partition, n)
+	for p := 0; p < n; p++ {
+		parts[p] = Partition{
+			Index: p,
+			LoL:   p * mL / n, HiL: (p + 1) * mL / n,
+			LoR: p * mR / n, HiR: (p + 1) * mR / n,
+		}
+	}
+	return parts
+}
+
+// runStats counts the supervision events of one run, for the chaos
+// suite to assert that recovery actually fired.
+type runStats struct {
+	// restarts is the number of partition rebuilds (crash notices,
+	// blown leases).
+	restarts int
+	// stale is the number of discarded completions: duplicates,
+	// reorders, and messages from replaced incarnations.
+	stale int
+}
+
+// run is the per-mining-call context shared by the supervisor and every
+// shard incarnation: the immutable inputs (dataset, coder, candidates)
+// and the private worker runtime all shard scoring phases park on.
+type run struct {
+	d     *dataset.Dataset
+	coder *mdl.Coder
+	cands []core.Candidate
+	cfg   Config
+	// workers is the resolved per-shard scoring pool size.
+	workers int
+	rt      *pool.Runtime
+	sv      *supervisor
+	// wg tracks every proc goroutine ever spawned, so close can wait
+	// for them all before releasing the worker runtime.
+	wg sync.WaitGroup
+
+	// Reused coordinator-side merge scratch: the partitions' count
+	// slices of the entry being folded, in partition order.
+	fwdParts, backParts [][]core.ItemCount
+}
+
+// newRun builds the engine for one mining call: resolves the config,
+// materializes the shared read-only structures (the column caches must
+// exist before shard goroutines read them concurrently), and starts the
+// supervisor with its initial shard procs.
+func newRun(ctx context.Context, d *dataset.Dataset, cands []core.Candidate, cfg Config) *run {
+	cfg = cfg.withDefaults()
+	d.Columns(dataset.Left)
+	d.Columns(dataset.Right)
+	r := &run{
+		d:       d,
+		coder:   mdl.NewCoder(d),
+		cands:   cands,
+		cfg:     cfg,
+		workers: pool.Size(cfg.Workers, 1<<30),
+		rt:      pool.NewRuntime(),
+	}
+	r.fwdParts = make([][]core.ItemCount, cfg.Shards)
+	r.backParts = make([][]core.ItemCount, cfg.Shards)
+	r.sv = newSupervisor(ctx, r)
+	return r
+}
+
+// close tears the run down: cancel every shard, wait for their
+// goroutines to drain, then release the worker runtime.
+func (r *run) close() {
+	r.sv.close()
+	r.wg.Wait()
+	r.rt.Close()
+}
+
+func (r *run) stats() *runStats {
+	return &runStats{restarts: r.sv.restarts, stale: r.sv.stale}
+}
+
+// qub is the candidate quick bound of §5.2 — State.Qub, which reads
+// only the coder, never the cover state. Because it is state-free, the
+// set of candidates that can ever score positive is fixed for the whole
+// run and the drivers compute it once.
+func (r *run) qub(c *core.Candidate) float64 {
+	return float64(c.TidX.Count())*r.coder.SetLen(dataset.Right, c.Y) +
+		float64(c.TidY.Count())*r.coder.SetLen(dataset.Left, c.X) -
+		r.coder.RuleLen(c.X, c.Y, true)
+}
+
+// applyRule runs an APPLY round for an accepted rule and folds the
+// acknowledgements into the coordinator mirrors: the scalar totals
+// always, and — when tubm is non-nil (EXACT) — the per-item covered
+// tidsets into the tub mirror, in the monolith's application order
+// (consequent order within a direction, X→Y direction before X←Y).
+func applyRule(r *run, totals *core.CoverTotals, tubm *core.TubMirror, table *core.Table, rule core.Rule) error {
+	reps, err := r.sv.apply(rule, tubm != nil)
+	if err != nil {
+		return err
+	}
+	for p, rep := range reps {
+		r.fwdParts[p] = rep.counts[0].Fwd
+		r.backParts[p] = rep.counts[0].Back
+	}
+	totals.Apply(rule, r.fwdParts, r.backParts)
+	if tubm != nil {
+		for _, rep := range reps {
+			for i, c := range rep.counts[0].Fwd {
+				tubm.ApplyItem(dataset.Right, int(c.Item), rep.covers.fwd[i])
+			}
+		}
+		for _, rep := range reps {
+			for i, c := range rep.counts[0].Back {
+				tubm.ApplyItem(dataset.Left, int(c.Item), rep.covers.back[i])
+			}
+		}
+	}
+	table.Rules = append(table.Rules, rule)
+	return nil
+}
+
+// record appends the iteration's stats to the result, built from the
+// coordinator mirrors with exactly the fields Result.record reads off
+// the monolithic State, and forwards to the callbacks. It reports
+// whether mining should continue.
+func record(res *core.Result, r *run, totals *core.CoverTotals, table *core.Table, rule core.Rule, gain float64, trace core.TraceFunc, onIter core.IterationFunc) bool {
+	it := core.IterationStats{
+		Iteration:  len(res.Iterations) + 1,
+		Rule:       rule,
+		Gain:       gain,
+		Score:      totals.Score(table),
+		UncoveredL: totals.UOnes[dataset.Left],
+		UncoveredR: totals.UOnes[dataset.Right],
+		ErrorsL:    totals.EOnes[dataset.Left],
+		ErrorsR:    totals.EOnes[dataset.Right],
+		TableLen:   table.Len(r.coder),
+		CorrLenL:   totals.CorrLen[dataset.Left],
+		CorrLenR:   totals.CorrLen[dataset.Right],
+	}
+	res.Iterations = append(res.Iterations, it)
+	if trace != nil {
+		trace(it)
+	}
+	if onIter != nil {
+		return onIter(it)
+	}
+	return true
+}
+
+// anyIn reports whether any item of s is in mask (core's anyIn).
+func anyIn(s []int, mask *bitset.Set) bool {
+	for _, it := range s {
+		if mask.Contains(it) {
+			return true
+		}
+	}
+	return false
+}

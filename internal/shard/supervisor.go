@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"twoview/internal/core"
+	"twoview/internal/fault"
+)
+
+// supervisor is the coordinator side of a sharded run: it owns the
+// accepted-rule log, the partition → incarnation map, and the round
+// protocol. It is a real supervisor, not a barrier — every round is a
+// leased broadcast-gather in which a shard that crashes, goes silent or
+// answers too late is replaced by a fresh incarnation rebuilt from the
+// log, and the round completes with the successor's answer.
+//
+// Determinism does not depend on any of that machinery firing or not:
+// replies are integers over a partition state that is a pure function
+// of (dataset, ranges, log), so the gathered counts are the same
+// whether they come from the original incarnation or its tenth
+// replacement, and the coordinator's float folds see identical inputs
+// under every failure schedule.
+type supervisor struct {
+	run *run
+	cfg Config
+
+	parts []Partition
+	procs []*proc
+	// terms[p] is partition p's current incarnation number; replies
+	// from older terms are stale by definition.
+	terms []uint64
+	// seq is the round number, shared by all partitions.
+	seq uint64
+	// inbox receives every incarnation's replies and crash notices. Its
+	// capacity covers a full round of replies plus crash noise, so
+	// retiring procs never block on a supervisor that is between reads.
+	inbox chan *reply
+
+	// log is the accepted-rule log: the authoritative mining history,
+	// appended only after the apply round for the rule has fully
+	// completed, so a mid-apply rebuild replays up to — never into —
+	// the in-flight rule.
+	log []core.Rule
+
+	restarts int
+	stale    int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func newSupervisor(ctx context.Context, r *run) *supervisor {
+	sctx, cancel := context.WithCancel(ctx)
+	sv := &supervisor{
+		run:    r,
+		cfg:    r.cfg,
+		parts:  split(r.d, r.cfg.Shards),
+		ctx:    sctx,
+		cancel: cancel,
+		inbox:  make(chan *reply, 4*r.cfg.Shards+16),
+	}
+	sv.procs = make([]*proc, len(sv.parts))
+	sv.terms = make([]uint64, len(sv.parts))
+	for p := range sv.procs {
+		sv.procs[p] = sv.spawn(p)
+	}
+	return sv
+}
+
+// close cancels every live incarnation. Callers wait on run.wg for the
+// goroutines themselves.
+func (sv *supervisor) close() { sv.cancel() }
+
+// spawn starts a fresh incarnation of partition part at the current
+// term, born from a snapshot of the accepted-rule log.
+func (sv *supervisor) spawn(part int) *proc {
+	ctx, cancel := context.WithCancel(sv.ctx)
+	p := &proc{
+		run:     sv.run,
+		part:    sv.parts[part],
+		term:    sv.terms[part],
+		ctx:     ctx,
+		cancel:  cancel,
+		mailbox: make(chan *request, 2),
+		out:     sv.inbox,
+		log:     sv.log,
+	}
+	sv.run.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// restart replaces partition part's incarnation: cancel the old one,
+// bump the term (instantly staling everything it might still send),
+// and spawn a successor from the log. When redispatch is set the
+// successor is immediately handed the in-flight request.
+func (sv *supervisor) restart(part int, mk func(part int) *request, redispatch bool) error {
+	if sv.restarts >= sv.cfg.MaxRestarts {
+		return fmt.Errorf("shard: partition %d crashed with the run's restart budget (%d) exhausted", part, sv.cfg.MaxRestarts)
+	}
+	sv.restarts++
+	sv.procs[part].cancel()
+	sv.terms[part]++
+	sv.procs[part] = sv.spawn(part)
+	if redispatch {
+		return sv.dispatch(part, mk)
+	}
+	return nil
+}
+
+// dispatch builds and delivers the round's request for partition part.
+// The send never blocks on a dead incarnation: its mailbox is buffered
+// and its cancelled context is the fallback.
+func (sv *supervisor) dispatch(part int, mk func(part int) *request) error {
+	req := mk(part)
+	req.seq, req.term, req.lease = sv.seq, sv.terms[part], sv.cfg.Lease
+	if fault.Enabled {
+		fault.Fire("shard.dispatch")
+	}
+	p := sv.procs[part]
+	select {
+	case p.mailbox <- req:
+	case <-p.ctx.Done():
+		// The incarnation is already gone; its crash notice (queued or
+		// imminent) triggers the rebuild and re-dispatch.
+	case <-sv.ctx.Done():
+		return sv.ctx.Err()
+	}
+	return nil
+}
+
+// round runs one leased broadcast-gather: dispatch mk's request to
+// every partition, then gather until every partition has answered for
+// this round with its current term — restarting partitions as crash
+// notices arrive and leases expire. The returned replies are indexed by
+// partition, so the caller's merge runs in partition order regardless
+// of arrival order.
+func (sv *supervisor) round(mk func(part int) *request) ([]*reply, error) {
+	sv.seq++
+	out := make([]*reply, len(sv.procs))
+	pending := len(out)
+	for part := range sv.procs {
+		if err := sv.dispatch(part, mk); err != nil {
+			return nil, err
+		}
+	}
+	// The lease timer is the liveness failsafe for silent deaths (a
+	// shard that can still panic sends a crash notice; one that is
+	// wedged or whose completion was lost sends nothing). It re-arms
+	// for as long as the round is incomplete.
+	timer := time.NewTimer(sv.cfg.Lease)
+	defer timer.Stop()
+	for pending > 0 {
+		select {
+		case <-sv.ctx.Done():
+			return nil, sv.ctx.Err()
+		case m := <-sv.inbox:
+			switch {
+			case m.crash:
+				if m.term != sv.terms[m.part] {
+					sv.stale++ // a replaced incarnation's dying word
+					continue
+				}
+				if err := sv.restart(m.part, mk, out[m.part] == nil); err != nil {
+					return nil, err
+				}
+			case m.seq != sv.seq || m.term != sv.terms[m.part] || out[m.part] != nil:
+				// Stale round, stale incarnation, or duplicate delivery:
+				// discarded by value — correctness never depends on the
+				// transport not duplicating or reordering.
+				sv.stale++
+			default:
+				out[m.part] = m
+				pending--
+			}
+		case <-timer.C:
+			for part := range out {
+				if out[part] == nil {
+					if err := sv.restart(part, mk, true); err != nil {
+						return nil, err
+					}
+				}
+			}
+			timer.Reset(sv.cfg.Lease)
+		}
+	}
+	return out, nil
+}
+
+// scoreCands runs a SCORE round over indices into the run's candidate
+// list.
+func (sv *supervisor) scoreCands(idx []int32) ([]*reply, error) {
+	return sv.round(func(int) *request {
+		return &request{kind: msgScore, candIdx: idx}
+	})
+}
+
+// scorePairs runs a SCORE round over inline (X, Y) pairs.
+func (sv *supervisor) scorePairs(pairs []pairMsg) ([]*reply, error) {
+	return sv.round(func(int) *request {
+		return &request{kind: msgScore, pairs: pairs}
+	})
+}
+
+// apply runs an APPLY round for an accepted rule, then — and only
+// then — appends it to the log. A partition rebuilt while the round is
+// in flight therefore replays a log without r and receives r via the
+// re-dispatched request: the rule reaches every incarnation's columns
+// exactly once.
+func (sv *supervisor) apply(r core.Rule, wantCover bool) ([]*reply, error) {
+	reps, err := sv.round(func(int) *request {
+		return &request{kind: msgApply, rule: r, wantCover: wantCover}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sv.log = append(sv.log, r)
+	return reps, nil
+}

@@ -71,6 +71,10 @@ import (
 	"twoview/internal/eval"
 	"twoview/internal/mdl"
 	"twoview/internal/synth"
+
+	// Arm ParallelOptions.Shards: the sharded engine registers itself
+	// in an init (core cannot import it — see core.RegisterShardMiner).
+	_ "twoview/internal/shard"
 )
 
 // Core data types, re-exported from the implementation packages. The
