@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test lint chaos chaos-shard fuzz-smoke bench-kernels promote-baseline
+.PHONY: test lint chaos chaos-shard chaos-net fuzz-smoke bench-kernels promote-baseline
 
 # The tier-1 gate: everything CI's build/test steps enforce.
 test:
@@ -29,6 +29,16 @@ chaos:
 # compiled in.
 chaos-shard:
 	$(GO) test -tags faultinject -race -count=1 ./internal/shard/
+
+# The network chaos suite: the TCP transport against real shardworker
+# processes on loopback with scripted network faults — connections cut
+# mid-frame, replies truncated at the wire, duplicated frames, a worker
+# process killed and restarted mid-run against its on-disk blob cache.
+# Every scenario asserts bit-identity to the monolith plus the recovery
+# counters (restarts, redials, cache hits) that prove the machinery
+# fired.
+chaos-net:
+	$(GO) test -tags faultinject -race -count=1 -run 'ChaosNet|TCP' ./internal/shard/
 
 # 30-second native-fuzzing smoke on the text readers (see README,
 # "Fuzzing"). Each target runs separately: `go test -fuzz` accepts a

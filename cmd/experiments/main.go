@@ -92,10 +92,16 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "worker goroutines for mining and candidate generation (0 = GOMAXPROCS, 1 = serial); results are identical")
 		shards  = flag.Int("shards", 0, "item-range shards for the supervised sharded engine (0 = monolithic); results are identical")
+		shardAt = flag.String("shard-addrs", "", "comma-separated shardworker addresses; partitions run in those daemons over TCP instead of in-process (implies -shards len(addrs) when -shards is 0); results are identical")
 	)
 	flag.Parse()
 	eval.Workers = *workers
 	eval.Shards = *shards
+	for _, a := range strings.Split(*shardAt, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			eval.ShardAddrs = append(eval.ShardAddrs, a)
+		}
+	}
 	// One persistent worker session serves the whole batch: every
 	// experiment's mining rounds reuse the same parked workers.
 	eval.Session = core.NewSession()

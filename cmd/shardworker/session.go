@@ -1,0 +1,287 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net"
+	"sync"
+
+	"twoview/internal/pool"
+	"twoview/internal/wire"
+)
+
+// worker is the per-process state shared by every coordinator session:
+// the content-addressed blob cache and the scoring-pool runtime.
+type worker struct {
+	cache   *blobCache
+	rt      *pool.Runtime
+	workers int
+}
+
+// serve runs one coordinator session: decode frames until the stream
+// dies, then retire every hosted incarnation. The cache survives the
+// session.
+func (w *worker) serve(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	sctx, cancel := context.WithCancel(ctx)
+	s := &session{
+		w:      w,
+		conn:   conn,
+		ctx:    sctx,
+		cancel: cancel,
+		out:    make(chan []byte, 256),
+		done:   make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go s.writeLoop(&wg)
+	go func() { // process shutdown must unblock the read below
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+			s.close()
+		case <-s.done:
+		}
+	}()
+
+	var buf []byte
+	for {
+		var msg wire.Msg
+		var err error
+		msg, buf, err = wire.ReadMsg(conn, buf)
+		if err != nil {
+			break
+		}
+		if !s.handle(msg) {
+			break
+		}
+	}
+	s.close()
+	s.cancel()
+	s.hostWG.Wait()
+	wg.Wait()
+}
+
+// session is one coordinator connection. The hosts and pending slices
+// are owned by the reader goroutine (serve); host goroutines touch only
+// their own mailbox and the out queue.
+type session struct {
+	w      *worker
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+	out    chan []byte
+	done   chan struct{}
+	once   sync.Once
+	hostWG sync.WaitGroup
+
+	// hosts are the live incarnations, linearly searched by partition —
+	// there are at most a handful per worker.
+	hosts []*host
+	// pending are HELLOs whose blobs have not all arrived yet; each may
+	// park the newest request for its incarnation, delivered at boot.
+	pending []*pendingHello
+}
+
+type pendingHello struct {
+	hello  *wire.Hello
+	parked wire.Msg
+}
+
+func (s *session) close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.conn.Close()
+	})
+}
+
+// handle processes one inbound frame; a false return poisons the
+// stream (the coordinator recovers by redialing).
+func (s *session) handle(msg wire.Msg) bool {
+	switch msg := msg.(type) {
+	case *wire.Hello:
+		s.handleHello(msg)
+	case *wire.Blob:
+		return s.handleBlob(msg)
+	case *wire.Score:
+		s.route(msg.Part, msg.Term, msg)
+	case *wire.Apply:
+		s.route(msg.Part, msg.Term, msg)
+	default:
+		log.Printf("unexpected %T frame; dropping the session", msg)
+		return false
+	}
+	return true
+}
+
+// handleHello announces (or re-announces) a partition incarnation.
+// Idempotent for an already-hosted (part, term); a newer term replaces
+// the incarnation; an older term is a stale retransmission and ignored.
+func (s *session) handleHello(h *wire.Hello) {
+	if old := s.findHost(h.Part); old != nil {
+		switch {
+		case old.term == h.Term:
+			// Re-announcement of a live incarnation (the coordinator
+			// resends its desired state after a reconnect): keep the
+			// host and its state, ack the cache hit.
+			s.ack(h.Part, h.Term, 0)
+			return
+		case old.term > h.Term:
+			return
+		}
+		old.cancel()
+		s.removeHost(old)
+	}
+	for i, ph := range s.pending {
+		if ph.hello.Part == h.Part {
+			if ph.hello.Term > h.Term {
+				return
+			}
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	need := s.w.cache.need(h)
+	s.ack(h.Part, h.Term, need)
+	if need == 0 {
+		s.start(h, nil)
+	} else {
+		s.pending = append(s.pending, &pendingHello{hello: h})
+	}
+}
+
+// handleBlob stores one verified transfer and boots every pending
+// incarnation it completes. A blob whose content does not match its
+// hash poisons the stream — resynchronization is the redial path.
+func (s *session) handleBlob(b *wire.Blob) bool {
+	if err := s.w.cache.put(b); err != nil {
+		log.Printf("rejecting blob: %v", err)
+		return false
+	}
+	var still []*pendingHello
+	for _, ph := range s.pending {
+		if s.w.cache.need(ph.hello) == 0 {
+			s.start(ph.hello, ph.parked)
+		} else {
+			still = append(still, ph)
+		}
+	}
+	s.pending = still
+	return true
+}
+
+// route hands a request to the addressed incarnation. A full mailbox
+// drops it (the lease recovers — same backpressure contract as the
+// coordinator's queues); a request for a pending incarnation is parked,
+// newest wins; anything else is a stale term and dropped.
+func (s *session) route(part int32, term uint64, msg wire.Msg) {
+	if h := s.findHost(part); h != nil && h.term == term {
+		select {
+		case h.mailbox <- msg:
+		default:
+		}
+		return
+	}
+	for _, ph := range s.pending {
+		if ph.hello.Part == part && ph.hello.Term == term {
+			ph.parked = msg
+			return
+		}
+	}
+}
+
+// start boots the incarnation a HELLO announced, now that its content
+// is fully cached.
+func (s *session) start(hm *wire.Hello, parked wire.Msg) {
+	d, cands, err := s.w.cache.materialize(hm)
+	if err != nil {
+		// The cached bytes are unusable (corrupt file, undecodable
+		// candidates): no retry on our side fixes that, so crash the
+		// incarnation and let the coordinator decide.
+		log.Printf("partition %d term %d: %v", hm.Part, hm.Term, err)
+		s.sendCrash(hm.Part, hm.Term)
+		return
+	}
+	workers := int(hm.Workers)
+	if workers < 1 {
+		workers = 1
+	}
+	if s.w.workers > 0 && workers > s.w.workers {
+		workers = s.w.workers
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	h := &host{
+		sess: s, part: hm.Part, term: hm.Term,
+		d: d, cands: cands,
+		loL: int(hm.LoL), hiL: int(hm.HiL), loR: int(hm.LoR), hiR: int(hm.HiR),
+		log:     hm.Log,
+		workers: workers,
+		ctx:     ctx, cancel: cancel,
+		mailbox: make(chan wire.Msg, hostMailboxDepth),
+	}
+	s.hosts = append(s.hosts, h)
+	s.hostWG.Add(1)
+	go h.loop()
+	if parked != nil {
+		h.mailbox <- parked // fresh mailbox: never full here
+	}
+	log.Printf("hosting partition %d term %d (items L[%d,%d) R[%d,%d), %d workers, %d log rules)",
+		h.part, h.term, h.loL, h.hiL, h.loR, h.hiR, workers, len(hm.Log))
+}
+
+func (s *session) findHost(part int32) *host {
+	for _, h := range s.hosts {
+		if h.part == part {
+			return h
+		}
+	}
+	return nil
+}
+
+func (s *session) removeHost(h *host) {
+	for i, o := range s.hosts {
+		if o == h {
+			s.hosts = append(s.hosts[:i], s.hosts[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *session) ack(part int32, term uint64, need uint8) {
+	s.send(&wire.HelloAck{Part: part, Term: term, Need: need})
+}
+
+func (s *session) sendCrash(part int32, term uint64) {
+	s.send(&wire.Crash{Part: part, Term: term})
+}
+
+// send encodes and enqueues one outbound frame, blocking until the
+// writer accepts it or the session dies. Encoding our own replies can
+// only fail on a frame past MaxFrame; the silent drop then surfaces as
+// lease expiry coordinator-side, like any other lost completion.
+func (s *session) send(m wire.Msg) {
+	frame, err := wire.Encode(nil, m)
+	if err != nil {
+		log.Printf("dropping unencodable %T: %v", m, err)
+		return
+	}
+	select {
+	case s.out <- frame:
+	case <-s.done:
+	}
+}
+
+func (s *session) writeLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case frame := <-s.out:
+			if _, err := s.conn.Write(frame); err != nil {
+				s.close()
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}

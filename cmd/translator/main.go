@@ -5,7 +5,8 @@
 // Usage:
 //
 //	translator -in data.tv [-algo select|exact|greedy] [-k 1] [-minsup 1]
-//	           [-max-rules 0] [-workers 0] [-shards 0] [-trace] [-dot out.dot]
+//	           [-max-rules 0] [-workers 0] [-shards 0] [-shard-addrs host:port,...]
+//	           [-trace] [-dot out.dot]
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+
+	"strings"
 
 	"twoview/internal/core"
 	"twoview/internal/dataset"
@@ -38,6 +41,7 @@ func main() {
 		maxRules = flag.Int("max-rules", 0, "stop after this many rules (0 = MDL stopping only)")
 		workers  = flag.Int("workers", 0, "worker goroutines for search and candidate mining (0 = GOMAXPROCS, 1 = serial); results are identical")
 		shards   = flag.Int("shards", 0, "item-range shards for the supervised sharded engine (0 = monolithic); results are identical")
+		shardAt  = flag.String("shard-addrs", "", "comma-separated shardworker addresses; partitions run in those daemons over TCP instead of in-process (implies -shards len(addrs) when -shards is 0); results are identical")
 		trace    = flag.Bool("trace", false, "print each iteration as it happens")
 		dotOut   = flag.String("dot", "", "also write a Graphviz visualization to this file")
 		saveOut  = flag.String("save", "", "write the mined translation table to this file")
@@ -100,7 +104,7 @@ func main() {
 	// session (parked workers, no per-round goroutine launches).
 	sess := core.NewSession()
 	defer sess.Close()
-	par := core.ParallelOptions{Workers: *workers, Shards: *shards, Session: sess}
+	par := core.ParallelOptions{Workers: *workers, Shards: *shards, ShardAddrs: splitAddrs(*shardAt), Session: sess}
 	var res *core.Result
 	var mineErr error
 	switch *algo {
@@ -171,4 +175,16 @@ func main() {
 		}
 		fmt.Printf("wrote %s (reload with -load)\n", *saveOut)
 	}
+}
+
+// splitAddrs parses the -shard-addrs comma list, dropping empty entries
+// so a trailing comma is harmless.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }

@@ -72,7 +72,7 @@ type ExactOptions struct {
 // alongside ctx.Err(). With an uncancelled context the result is
 // bit-identical for every worker count and the error is nil.
 func MineExact(ctx context.Context, d *dataset.Dataset, opt ExactOptions) (*Result, error) {
-	if m, err := shardEngine(opt.Shards); err != nil {
+	if m, err := shardEngine(opt.ParallelOptions); err != nil {
 		return nil, err
 	} else if m != nil {
 		return m.MineExact(ctx, d, opt)

@@ -82,7 +82,7 @@ type greedyScore struct {
 // uncancelled context the result is bit-identical for every worker
 // count and the error is nil.
 func MineGreedy(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt GreedyOptions) (*Result, error) {
-	if m, err := shardEngine(opt.Shards); err != nil {
+	if m, err := shardEngine(opt.ParallelOptions); err != nil {
 		return nil, err
 	} else if m != nil {
 		return m.MineGreedy(ctx, d, cands, opt)

@@ -79,6 +79,17 @@ type ParallelOptions struct {
 	// twoview/internal/shard directly) registers it; with neither
 	// linked, Shards > 0 is an error.
 	Shards int
+	// ShardAddrs lifts the sharded engine onto TCP: each address is a
+	// shardworker daemon (cmd/shardworker) that hosts partitions, dialed
+	// and supervised by the coordinator with the same lease-based crash
+	// recovery as the in-process engine — a broken or timed-out
+	// connection is a crash, redialed with deterministic backoff.
+	// Partitions are placed round-robin over the addresses. Empty (the
+	// default) keeps every shard in-process. When ShardAddrs is set and
+	// Shards is 0, Shards defaults to len(ShardAddrs). Results are
+	// bit-identical to the monolith for every placement, connection-
+	// failure schedule, and worker count.
+	ShardAddrs []string
 	// Session is the persistent worker runtime to run on; nil means the
 	// shared package-wide runtime. See Session.
 	Session *Session

@@ -54,7 +54,7 @@ type scoredRule struct {
 // uncancelled context the result is bit-identical for every worker
 // count and the error is nil.
 func MineSelect(ctx context.Context, d *dataset.Dataset, cands []Candidate, opt SelectOptions) (*Result, error) {
-	if m, err := shardEngine(opt.Shards); err != nil {
+	if m, err := shardEngine(opt.ParallelOptions); err != nil {
 		return nil, err
 	} else if m != nil {
 		return m.MineSelect(ctx, d, cands, opt)

@@ -32,10 +32,12 @@ func RegisterShardMiner(m ShardMiner) { shardMiner = m }
 var errNoShardMiner = errors.New(
 	"core: ParallelOptions.Shards > 0 but no sharded engine is linked in (import the twoview facade or twoview/internal/shard)")
 
-// shardEngine resolves the Shards knob: (nil, nil) means run the
-// monolith, a non-nil engine means dispatch to it.
-func shardEngine(shards int) (ShardMiner, error) {
-	if shards <= 0 {
+// shardEngine resolves the sharding knobs: (nil, nil) means run the
+// monolith, a non-nil engine means dispatch to it. Shards > 0 opts in,
+// as does a non-empty ShardAddrs list (the TCP transport), which
+// implies Shards = len(ShardAddrs) when Shards is left 0.
+func shardEngine(o ParallelOptions) (ShardMiner, error) {
+	if o.Shards <= 0 && len(o.ShardAddrs) == 0 {
 		return nil, nil
 	}
 	if shardMiner == nil {

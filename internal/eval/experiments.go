@@ -34,6 +34,12 @@ var Workers int
 // are identical regardless.
 var Shards int
 
+// ShardAddrs lifts the sharded engine onto TCP: each entry is a
+// shardworker daemon address the coordinator dials and supervises
+// (cmd/experiments exposes this as -shard-addrs). Empty keeps every
+// shard in-process. Results are identical regardless.
+var ShardAddrs []string
+
 // Session is the persistent worker runtime the runners mine on; nil
 // means the shared package-wide runtime. A caller running a long batch
 // of experiments can install one (and Close it afterwards) so every
@@ -42,7 +48,7 @@ var Session *core.Session
 
 // par returns the shared ParallelOptions of the runners.
 func par() core.ParallelOptions {
-	return core.ParallelOptions{Workers: Workers, Shards: Shards, Session: Session}
+	return core.ParallelOptions{Workers: Workers, Shards: Shards, ShardAddrs: ShardAddrs, Session: Session}
 }
 
 // Gen materializes a profile at the given scale.

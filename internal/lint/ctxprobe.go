@@ -34,8 +34,15 @@ var Ctxprobe = &Analyzer{
 // its drivers are the miners' round loops re-homed (DFS, speculation
 // windows, round gathers): a sharded loop that stops observing its
 // context turns cancellation into a wedged supervisor holding N shard
-// goroutine groups.
-var ctxprobeScopes = []string{"internal/core", "internal/mine", "internal/server", "internal/shard"}
+// goroutine groups. cmd/shardworker is in scope for the same reason on
+// the far side of the wire: a host loop that stops observing its
+// incarnation context would keep scoring for a coordinator that has
+// already replaced it. internal/wire is registered so codec loops stay
+// covered if they ever grow a kernel call.
+var ctxprobeScopes = []string{
+	"internal/core", "internal/mine", "internal/server", "internal/shard",
+	"internal/wire", "cmd/shardworker",
+}
 
 // poolPhaseFuncs are the phase-submission entry points of
 // internal/pool: calling one inside a loop makes that loop a

@@ -23,7 +23,8 @@ var Detorder = &Analyzer{
 	Directive: "nondeterministic-ok",
 	Doc: "flag map iteration in result-producing packages " +
 		"(internal/core, internal/mine, internal/pool, internal/eval, " +
-		"internal/server, internal/fault, internal/shard, the facades); " +
+		"internal/server, internal/fault, internal/shard, internal/wire, " +
+		"cmd/shardworker, the facades); " +
 		"map order is randomized per run, so any map range that can influence " +
 		"emitted results breaks the bit-identical-tables contract. " +
 		"Iterate sorted keys, or annotate with //lint:nondeterministic-ok <reason>.",
@@ -40,11 +41,17 @@ var Detorder = &Analyzer{
 // messages into gains, so any map-ordered walk over partitions or
 // pending replies would break the bit-identical-tables contract
 // (replies are merged in partition-index order, never arrival or map
-// order). Parsers, bit-kernels and baselines are out of scope: their
+// order). internal/wire and cmd/shardworker extend the same contract
+// across the network: frames must encode byte-identically run to run
+// (a map-ordered walk while serializing would break replayability),
+// and the worker daemon's announce/boot walks must follow partition
+// order, which is why its hosts and pending lists are slices, never
+// maps. Parsers, bit-kernels and baselines are out of scope: their
 // maps are lookups or feed order-insensitive summaries.
 var detorderScopes = []string{
 	"", "internal/core", "internal/mine", "internal/pool", "internal/eval",
 	"internal/server", "internal/fault", "internal/shard",
+	"internal/wire", "cmd/shardworker",
 }
 
 func runDetorder(pass *Pass) error {

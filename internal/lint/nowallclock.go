@@ -37,11 +37,17 @@ var Nowallclock = &Analyzer{
 // no mining or recovery decision ever reads the clock — a clock-read
 // lease would make failure schedules, and therefore runStats,
 // machine-dependent. Its one observational read (Result.Runtime's
-// stopwatch) is the annotated helper.
+// stopwatch) is the annotated helper. internal/wire and cmd/shardworker
+// extend the same discipline over TCP: redial backoff is deterministic
+// doubling, leases travel as durations and run on timers at the
+// receiver, and the wire format carries no timestamps — a clock read
+// on either side would make connection-failure schedules
+// machine-dependent.
 var nowallclockScopes = []string{
 	"internal/core", "internal/mine", "internal/bitset",
 	"internal/itemset", "internal/mdl", "internal/pool",
 	"internal/server", "internal/fault", "internal/shard",
+	"internal/wire", "cmd/shardworker",
 }
 
 // wallClockFuncs are the forbidden time package entry points. Duration

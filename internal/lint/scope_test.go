@@ -6,9 +6,13 @@ import "testing"
 // contracts as the mining core: translations are pure functions of
 // (table, row), failpoint schedules replay identically, and the shard
 // coordinator's folds must be bit-reproducible under every failure
-// schedule. This pins the scope registration so a future analyzer
-// refactor cannot silently drop internal/server, internal/fault or
-// internal/shard out of coverage.
+// schedule. The distributed layer rides them too: internal/wire frames
+// must encode byte-identically and carry no timestamps, and
+// cmd/shardworker returns the same integers an in-process shard would
+// for any clock and any connection-failure schedule. This pins the
+// scope registration so a future analyzer refactor cannot silently
+// drop internal/server, internal/fault, internal/shard, internal/wire
+// or cmd/shardworker out of coverage.
 func TestServingPackagesAreInAnalyzerScope(t *testing.T) {
 	cases := []struct {
 		pkg    string
@@ -23,6 +27,12 @@ func TestServingPackagesAreInAnalyzerScope(t *testing.T) {
 		{"twoview/internal/server", "nowallclock", nowallclockScopes},
 		{"twoview/internal/fault", "nowallclock", nowallclockScopes},
 		{"twoview/internal/shard", "nowallclock", nowallclockScopes},
+		{"twoview/internal/wire", "detorder", detorderScopes},
+		{"twoview/internal/wire", "ctxprobe", ctxprobeScopes},
+		{"twoview/internal/wire", "nowallclock", nowallclockScopes},
+		{"twoview/cmd/shardworker", "detorder", detorderScopes},
+		{"twoview/cmd/shardworker", "ctxprobe", ctxprobeScopes},
+		{"twoview/cmd/shardworker", "nowallclock", nowallclockScopes},
 	}
 	for _, c := range cases {
 		if !hasScope(c.pkg, c.scopes...) {

@@ -102,3 +102,24 @@ func SumWeightedProbed(ctx context.Context, sets []*bitset.Set, w []float64) (fl
 	}
 	return total, nil
 }
+
+// Flagged: the worker-daemon anti-pattern — a host loop scoring rounds
+// without observing its incarnation context would keep computing for a
+// coordinator that already replaced it.
+func HostRounds(p *pool.Pool[int], rounds, tasks int) {
+	for r := 0; r < rounds; r++ { // want `without a cancellation checkpoint`
+		p.Run(tasks, func(int, int) {})
+	}
+}
+
+// Allowed: the shardworker host idiom — every scoring phase runs under
+// the incarnation's context (RunCtx under a lease), so cancellation is
+// observed at phase granularity.
+func HostRoundsLeased(ctx context.Context, p *pool.Pool[int], rounds, tasks int) error {
+	for r := 0; r < rounds; r++ {
+		if err := p.RunCtx(ctx, tasks, func(int, int) {}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

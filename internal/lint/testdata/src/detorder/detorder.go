@@ -84,3 +84,24 @@ func SortedSchedules(schedules map[string][]int) [][]int {
 	}
 	return out
 }
+
+// Flagged: the wire-codec anti-pattern — serializing a map-keyed blob
+// store in iteration order would make frames differ run to run, which
+// breaks the replayable-schedule contract of the TCP transport.
+func EncodeBlobs(blobs map[string][]byte) []byte {
+	var out []byte
+	for _, b := range blobs { // want `map iteration order is nondeterministic`
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Allowed: the shardworker idiom — desired incarnations as a slice
+// indexed by partition, announced in partition order on every session.
+func AnnounceDesired(desired [][]byte, send func([]byte)) {
+	for part := range desired {
+		if desired[part] != nil {
+			send(desired[part])
+		}
+	}
+}

@@ -54,3 +54,19 @@ func Remaining(deadline time.Time) time.Duration {
 
 // Allowed: timer-based waiting never reads the wall clock.
 func Waiter(d time.Duration) *time.Timer { return time.NewTimer(d) }
+
+// Flagged: a wall-clock redial schedule — backoff derived from the
+// current time makes connection-failure schedules machine-dependent.
+func RedialAt(last time.Time, backoff time.Duration) bool {
+	return time.Since(last) > backoff // want `time.Since in a determinism-critical package`
+}
+
+// Allowed: the TCP transport's idiom — deterministic doubling backoff
+// waited out on a timer; no mining or recovery decision reads a clock.
+func RedialBackoff(base time.Duration, attempt int) *time.Timer {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	return time.NewTimer(d)
+}

@@ -53,12 +53,12 @@
 // own phase, retires the incarnation with a crash notice, and frees
 // its workers instead of wedging them.
 //
-// # Message protocol (the future TCP wire format)
+// # Message protocol
 //
-// The in-process message types below are written down as the wire
-// format a TCP transport will speak; in-process fields that are Go
-// pointers into shared immutable structures become explicit transfers
-// at bootstrap, exactly once per run:
+// The in-process message types below are also the wire format the TCP
+// transport speaks (internal/wire encodes them; see below); in-process
+// fields that are Go pointers into shared immutable structures become
+// explicit transfers at bootstrap, exactly once per worker:
 //
 //	HELLO     coordinator → shard: dataset (or its content hash for a
 //	          shard-local cache), the partition's item ranges
@@ -91,6 +91,37 @@
 // All replies carry (part, term, seq) for the dedup rule above, so the
 // transport may deliver duplicates or reorder freely; the protocol is
 // idempotent at the receiver by discard, not by re-execution.
+//
+// # Transports: in-process and TCP
+//
+// The supervisor drives partitions through a transport it cannot
+// otherwise observe. The in-process transport (transport.go) spawns
+// shard procs with bounded mailboxes. The TCP transport (net.go),
+// selected by core.ParallelOptions.ShardAddrs, places partition p on
+// shardworker daemon Addrs[p mod len(Addrs)] (cmd/shardworker) and
+// speaks the protocol in internal/wire's framing. HELLO carries the
+// dataset and candidate list as content hashes; the worker acks with
+// the set it is missing and only those blobs are transferred — a
+// worker that has seen the content before (earlier run, earlier
+// incarnation, or a restart with -cache DIR) boots from its cache with
+// zero transfer.
+//
+// Every network failure is funneled onto a supervision path that
+// already exists: a broken, poisoned, or timed-out connection
+// synthesizes CRASH notices for the incarnations it hosted (then
+// redials with deterministic doubling backoff and re-announces the
+// desired incarnations via HELLO), a full queue or disconnected
+// address drops the request and the lease recovers it, and duplicated
+// or reordered frames are discarded by the dedup rule. Because shards
+// exchange only integers and the coordinator folds them in monolith
+// order, the mined tables stay bit-identical for any shard placement,
+// connection-failure schedule, and worker count — the property the
+// network chaos suite (chaos_net_test.go, `make chaos-net`) asserts.
+//
+// Backpressure is one constant, queueDepth: the capacity of every
+// in-process mailbox and the per-partition budget of a TCP session's
+// write queue. A full queue never blocks the supervisor and never
+// grows — delivery is dropped and surfaces as lease expiry.
 //
 // # Failpoints
 //

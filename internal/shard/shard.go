@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"twoview/internal/dataset"
 	"twoview/internal/mdl"
 	"twoview/internal/pool"
+	"twoview/internal/wire"
 )
 
 // Config sizes one sharded mining run. The zero value of every field
@@ -33,15 +35,35 @@ type Config struct {
 	// fails rather than loop on a deterministically crashing shard
 	// (e.g. a persistent fault schedule). 0 means DefaultMaxRestarts.
 	MaxRestarts int
+	// Addrs lifts the engine onto TCP: each address is a shardworker
+	// daemon (cmd/shardworker) and partition p is placed on
+	// Addrs[p % len(Addrs)]. Empty (the default) runs every shard
+	// in-process. The supervision protocol is identical either way; a
+	// broken or timed-out connection is one more way for an incarnation
+	// to crash.
+	Addrs []string
+	// RedialBackoff is the base delay before redialing a broken
+	// connection; successive failed dials back off deterministically
+	// (doubling, capped) — no randomness, so a failure schedule replays
+	// identically. 0 means DefaultRedialBackoff.
+	RedialBackoff time.Duration
 }
 
 // Defaults for Config's zero fields. The lease default is generous: it
 // is a liveness failsafe, not a pacing mechanism, and only has to beat
 // the longest legitimate phase of a round.
 const (
-	DefaultLease       = 10 * time.Second
-	DefaultMaxRestarts = 100
+	DefaultLease         = 10 * time.Second
+	DefaultMaxRestarts   = 100
+	DefaultRedialBackoff = 50 * time.Millisecond
 )
+
+// queueDepth is the single backpressure constant of the engine: the
+// capacity of every in-process shard mailbox and the per-partition
+// budget of a TCP session's write queue. A full queue never blocks the
+// supervisor and never buffers without bound — the frame is dropped and
+// the condition surfaces as lease expiry, the same path as a crash.
+const queueDepth = 2
 
 func (c Config) withDefaults() Config {
 	if c.Shards < 1 {
@@ -53,12 +75,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxRestarts <= 0 {
 		c.MaxRestarts = DefaultMaxRestarts
 	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = DefaultRedialBackoff
+	}
 	return c
 }
 
-// configFrom maps the miner-facing knobs to a shard Config.
+// configFrom maps the miner-facing knobs to a shard Config. A non-empty
+// address list with Shards left 0 means one partition per address.
 func configFrom(par core.ParallelOptions) Config {
-	return Config{Shards: par.Shards, Workers: par.Workers}
+	shards := par.Shards
+	if shards == 0 && len(par.ShardAddrs) > 0 {
+		shards = len(par.ShardAddrs)
+	}
+	return Config{Shards: shards, Workers: par.Workers, Addrs: par.ShardAddrs}
 }
 
 // Partition is one shard's slice of both item alphabets: the items
@@ -99,6 +129,16 @@ type runStats struct {
 	// stale is the number of discarded completions: duplicates,
 	// reorders, and messages from replaced incarnations.
 	stale int
+
+	// TCP transport counters; all zero for in-process runs.
+
+	// dials is the number of established worker connections; redials is
+	// how many of them replaced a broken one.
+	dials, redials int
+	// blobsSent counts dataset/candidate transfers the HELLO negotiation
+	// actually performed; cacheHits counts the HELLOs a worker answered
+	// entirely from its content-hash cache.
+	blobsSent, cacheHits int
 }
 
 // run is the per-mining-call context shared by the supervisor and every
@@ -120,6 +160,15 @@ type run struct {
 	// Reused coordinator-side merge scratch: the partitions' count
 	// slices of the entry being folded, in partition order.
 	fwdParts, backParts [][]core.ItemCount
+
+	// Content-addressed transfer blobs of the TCP transport, computed
+	// once per run (empty for in-process runs): the dataset in its text
+	// serialization and the candidate list in wire encoding, each with
+	// the SHA-256 a HELLO announces.
+	datasetBlob []byte
+	datasetHash wire.Hash
+	candsBlob   []byte
+	candsHash   wire.Hash
 }
 
 // newRun builds the engine for one mining call: resolves the config,
@@ -140,6 +189,20 @@ func newRun(ctx context.Context, d *dataset.Dataset, cands []core.Candidate, cfg
 	}
 	r.fwdParts = make([][]core.ItemCount, cfg.Shards)
 	r.backParts = make([][]core.ItemCount, cfg.Shards)
+	if len(cfg.Addrs) > 0 {
+		var buf bytes.Buffer
+		if err := dataset.Write(&buf, d); err != nil {
+			// The text serializer only fails on writer errors, which a
+			// bytes.Buffer never produces.
+			panic(err)
+		}
+		r.datasetBlob = buf.Bytes()
+		r.datasetHash = wire.HashBytes(r.datasetBlob)
+		if len(cands) > 0 {
+			r.candsBlob = wire.AppendCandidates(nil, cands)
+			r.candsHash = wire.HashBytes(r.candsBlob)
+		}
+	}
 	r.sv = newSupervisor(ctx, r)
 	return r
 }
@@ -153,7 +216,9 @@ func (r *run) close() {
 }
 
 func (r *run) stats() *runStats {
-	return &runStats{restarts: r.sv.restarts, stale: r.sv.stale}
+	rs := &runStats{restarts: r.sv.restarts, stale: r.sv.stale}
+	r.sv.tr.stats(rs)
+	return rs
 }
 
 // qub is the candidate quick bound of §5.2 — State.Qub, which reads

@@ -27,7 +27,9 @@ type supervisor struct {
 	cfg Config
 
 	parts []Partition
-	procs []*proc
+	// tr is where the incarnations live: in-process procs or shardworker
+	// daemons over TCP. The supervision protocol is transport-blind.
+	tr transport
 	// terms[p] is partition p's current incarnation number; replies
 	// from older terms are stale by definition.
 	terms []uint64
@@ -61,74 +63,53 @@ func newSupervisor(ctx context.Context, r *run) *supervisor {
 		cancel: cancel,
 		inbox:  make(chan *reply, 4*r.cfg.Shards+16),
 	}
-	sv.procs = make([]*proc, len(sv.parts))
 	sv.terms = make([]uint64, len(sv.parts))
-	for p := range sv.procs {
-		sv.procs[p] = sv.spawn(p)
+	if len(sv.cfg.Addrs) > 0 {
+		sv.tr = newTCPTransport(sv, sv.cfg.Addrs)
+	} else {
+		sv.tr = newLocalTransport(sv)
+	}
+	for p := range sv.parts {
+		sv.tr.spawn(p, 0, nil)
 	}
 	return sv
 }
 
-// close cancels every live incarnation. Callers wait on run.wg for the
-// goroutines themselves.
-func (sv *supervisor) close() { sv.cancel() }
-
-// spawn starts a fresh incarnation of partition part at the current
-// term, born from a snapshot of the accepted-rule log.
-func (sv *supervisor) spawn(part int) *proc {
-	ctx, cancel := context.WithCancel(sv.ctx)
-	p := &proc{
-		run:     sv.run,
-		part:    sv.parts[part],
-		term:    sv.terms[part],
-		ctx:     ctx,
-		cancel:  cancel,
-		mailbox: make(chan *request, 2),
-		out:     sv.inbox,
-		log:     sv.log,
-	}
-	sv.run.wg.Add(1)
-	go p.loop()
-	return p
+// close cancels every live incarnation and tears the transport down.
+// Callers wait on run.wg for the goroutines themselves.
+func (sv *supervisor) close() {
+	sv.cancel()
+	sv.tr.close()
 }
 
-// restart replaces partition part's incarnation: cancel the old one,
-// bump the term (instantly staling everything it might still send),
-// and spawn a successor from the log. When redispatch is set the
-// successor is immediately handed the in-flight request.
+// restart replaces partition part's incarnation: bump the term
+// (instantly staling everything the old one might still send) and
+// spawn a successor from the log; the transport replaces the old
+// incarnation as a side effect. When redispatch is set the successor
+// is immediately handed the in-flight request.
 func (sv *supervisor) restart(part int, mk func(part int) *request, redispatch bool) error {
 	if sv.restarts >= sv.cfg.MaxRestarts {
 		return fmt.Errorf("shard: partition %d crashed with the run's restart budget (%d) exhausted", part, sv.cfg.MaxRestarts)
 	}
 	sv.restarts++
-	sv.procs[part].cancel()
 	sv.terms[part]++
-	sv.procs[part] = sv.spawn(part)
+	sv.tr.spawn(part, sv.terms[part], sv.log)
 	if redispatch {
-		return sv.dispatch(part, mk)
+		sv.dispatch(part, mk)
 	}
 	return nil
 }
 
 // dispatch builds and delivers the round's request for partition part.
-// The send never blocks on a dead incarnation: its mailbox is buffered
-// and its cancelled context is the fallback.
-func (sv *supervisor) dispatch(part int, mk func(part int) *request) error {
+// Delivery never blocks: a dead incarnation, full mailbox, or broken
+// connection drops the request, and the lease timer recovers.
+func (sv *supervisor) dispatch(part int, mk func(part int) *request) {
 	req := mk(part)
 	req.seq, req.term, req.lease = sv.seq, sv.terms[part], sv.cfg.Lease
 	if fault.Enabled {
 		fault.Fire("shard.dispatch")
 	}
-	p := sv.procs[part]
-	select {
-	case p.mailbox <- req:
-	case <-p.ctx.Done():
-		// The incarnation is already gone; its crash notice (queued or
-		// imminent) triggers the rebuild and re-dispatch.
-	case <-sv.ctx.Done():
-		return sv.ctx.Err()
-	}
-	return nil
+	sv.tr.deliver(part, req)
 }
 
 // round runs one leased broadcast-gather: dispatch mk's request to
@@ -139,12 +120,10 @@ func (sv *supervisor) dispatch(part int, mk func(part int) *request) error {
 // of arrival order.
 func (sv *supervisor) round(mk func(part int) *request) ([]*reply, error) {
 	sv.seq++
-	out := make([]*reply, len(sv.procs))
+	out := make([]*reply, len(sv.parts))
 	pending := len(out)
-	for part := range sv.procs {
-		if err := sv.dispatch(part, mk); err != nil {
-			return nil, err
-		}
+	for part := range sv.parts {
+		sv.dispatch(part, mk)
 	}
 	// The lease timer is the liveness failsafe for silent deaths (a
 	// shard that can still panic sends a crash notice; one that is

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame-level errors. Transports distinguish nothing finer than "this
+// connection is poisoned": any framing error maps onto the CRASH path.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrBadVersion    = errors.New("wire: protocol version mismatch")
+	ErrBadKind       = errors.New("wire: unknown message kind")
+	ErrShortHeader   = errors.New("wire: short frame header")
+)
+
+// Encode appends one framed message to dst and returns the extended
+// slice. It fails only on a payload larger than MaxFrame.
+func Encode(dst []byte, m Msg) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, Version, byte(m.Kind()))
+	switch m := m.(type) {
+	case *Hello:
+		dst = appendHello(dst, m)
+	case *HelloAck:
+		dst = appendHelloAck(dst, m)
+	case *Blob:
+		dst = appendBlob(dst, m)
+	case *Score:
+		dst = appendScore(dst, m)
+	case *Apply:
+		dst = appendApply(dst, m)
+	case *Reply:
+		dst = appendReply(dst, m)
+	case *Crash:
+		dst = appendCrash(dst, m)
+	default:
+		return dst[:start], fmt.Errorf("wire: cannot encode %T", m)
+	}
+	payload := len(dst) - start - HeaderSize
+	if payload > MaxFrame {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(payload))
+	return dst, nil
+}
+
+// FrameLen validates a frame header and returns its payload length.
+// Proxies and readers use it to size reads without decoding payloads.
+func FrameLen(header []byte) (int, error) {
+	if len(header) < HeaderSize {
+		return 0, ErrShortHeader
+	}
+	n := binary.BigEndian.Uint32(header)
+	if n > MaxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if header[4] != Version {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, header[4], Version)
+	}
+	if k := Kind(header[5]); k < KindHello || k > kindMax {
+		return 0, fmt.Errorf("%w: %d", ErrBadKind, header[5])
+	}
+	return int(n), nil
+}
+
+// Decode parses one complete frame from the front of b, returning the
+// message and the number of bytes consumed. It never panics and never
+// allocates more than a small multiple of the frame it was given,
+// whatever the bytes claim.
+func Decode(b []byte) (Msg, int, error) {
+	payload, err := FrameLen(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) < HeaderSize+payload {
+		return nil, 0, errTruncated
+	}
+	d := &dec{b: b[HeaderSize : HeaderSize+payload]}
+	var m Msg
+	switch Kind(b[5]) {
+	case KindHello:
+		m = decodeHello(d)
+	case KindHelloAck:
+		m = decodeHelloAck(d)
+	case KindBlob:
+		m = decodeBlob(d)
+	case KindScore:
+		m = decodeScore(d)
+	case KindApply:
+		m = decodeApply(d)
+	case KindReply:
+		m = decodeReply(d)
+	case KindCrash:
+		m = decodeCrash(d)
+	}
+	if err := d.done(); err != nil {
+		return nil, 0, err
+	}
+	return m, HeaderSize + payload, nil
+}
+
+// WriteMsg encodes m into buf (reusing its capacity) and writes the
+// frame to w, returning the grown buffer for reuse.
+func WriteMsg(w io.Writer, buf []byte, m Msg) ([]byte, error) {
+	buf, err := Encode(buf[:0], m)
+	if err != nil {
+		return buf, err
+	}
+	_, err = w.Write(buf)
+	return buf, err
+}
+
+// ReadMsg reads exactly one frame from r into buf (reusing its
+// capacity), decodes it, and returns the message and the grown buffer.
+// Any framing or codec error poisons the stream: the caller must treat
+// the connection as dead (the protocol has no frame resynchronization —
+// recovery is the supervisor's redial path).
+func ReadMsg(r io.Reader, buf []byte) (Msg, []byte, error) {
+	buf = grow(buf, HeaderSize)
+	if _, err := io.ReadFull(r, buf[:HeaderSize]); err != nil {
+		return nil, buf, err
+	}
+	payload, err := FrameLen(buf[:HeaderSize])
+	if err != nil {
+		return nil, buf, err
+	}
+	total := HeaderSize + payload
+	buf = grow(buf, total)
+	if _, err := io.ReadFull(r, buf[HeaderSize:total]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	m, _, err := Decode(buf[:total])
+	return m, buf, err
+}
+
+// grow returns buf with length exactly n, preserving existing contents
+// (ReadMsg grows the buffer after the header is already in it).
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		nb := make([]byte, n)
+		copy(nb, buf)
+		return nb
+	}
+	return buf[:n]
+}

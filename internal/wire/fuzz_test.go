@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireCodec is the differential fuzz of the codec: any input that
+// decodes must re-encode and re-decode to the same message (the codec
+// has one canonical form per message), and no input — truncated,
+// corrupted, or oversized — may panic or allocate past the frame-size
+// bound. The checked-in corpus under testdata/fuzz/FuzzWireCodec seeds
+// one valid frame per kind plus adversarial shapes: truncated prefixes,
+// flipped header bytes, and length-amplification claims.
+func FuzzWireCodec(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		enc, err := Encode(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		if len(enc) > HeaderSize {
+			flipped := append([]byte(nil), enc...)
+			flipped[HeaderSize] ^= 0xFF
+			f.Add(flipped)
+		}
+	}
+	// Oversized length claim and length-amplified element count.
+	huge := make([]byte, HeaderSize)
+	binary.BigEndian.PutUint32(huge, MaxFrame+1)
+	huge[4], huge[5] = Version, byte(KindCrash)
+	f.Add(huge)
+	amp := []byte{0, 0, 0, 4, Version, byte(KindReply), 1, 2, 3}
+	amp = binary.AppendUvarint(amp, 1<<30)
+	f.Add(amp)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n < HeaderSize || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		enc, err := Encode(nil, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", m, err)
+		}
+		m2, _, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded %T failed: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode/encode/decode diverged:\n first %#v\nsecond %#v", m, m2)
+		}
+	})
+}
